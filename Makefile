@@ -1,0 +1,52 @@
+# drainnet build/test/experiment targets. Stdlib-only Go; no external deps.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench bench-fast experiments \
+        experiments-train examples renders clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Every table/figure benchmark, including the training ones (minutes).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Simulator-only benchmarks (seconds).
+bench-fast:
+	$(GO) test -short -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the paper's evaluation without training experiments.
+experiments:
+	$(GO) run ./cmd/drainnet-bench -exp all
+
+# Regenerate everything, including Table 1 and the §8.1 baseline.
+experiments-train:
+	$(GO) run ./cmd/drainnet-bench -exp all -train
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/batch_tuning
+	$(GO) run ./examples/watershed_pipeline
+	$(GO) run ./examples/nas_search
+
+renders:
+	$(GO) run ./cmd/drainnet-export -out renders
+
+clean:
+	rm -rf renders
+	$(GO) clean ./...

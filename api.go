@@ -1,0 +1,336 @@
+package drainnet
+
+import (
+	"math/rand"
+
+	"drainnet/internal/baseline"
+	"drainnet/internal/gpu"
+	"drainnet/internal/graph"
+	"drainnet/internal/hydro"
+	"drainnet/internal/ios"
+	"drainnet/internal/metrics"
+	"drainnet/internal/model"
+	"drainnet/internal/nas"
+	"drainnet/internal/nn"
+	"drainnet/internal/profiler"
+	"drainnet/internal/tensor"
+	"drainnet/internal/terrain"
+	"drainnet/internal/train"
+)
+
+// ---- Tensors and networks ----
+
+// Tensor is a dense float32 tensor (row-major), the data type flowing
+// through every model.
+type Tensor = tensor.Tensor
+
+// NewTensor allocates a zero-filled tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// Network is a trainable sequential CNN.
+type Network = nn.Sequential
+
+// DetectionTarget is per-sample supervision: objectness plus a normalized
+// center-size box.
+type DetectionTarget = nn.DetectionTarget
+
+// ---- Model family (paper Table 1) ----
+
+// ModelConfig describes one SPP-Net architecture; it round-trips through
+// the paper's layer notation (see ParseModel and ModelConfig.Notation).
+type ModelConfig = model.Config
+
+// OriginalSPPNet is the paper's baseline architecture
+// (C64,3,1-P2,2-C128,3,1-P2,2-C256,3,1-P2,2-SPP4,2,1-F1024).
+func OriginalSPPNet() ModelConfig { return model.OriginalSPPNet() }
+
+// SPPNet1 is NAS candidate #1 (5×5 first conv).
+func SPPNet1() ModelConfig { return model.SPPNet1() }
+
+// SPPNet2 is NAS candidate #2 (SPP 5,2,1 + F4096) — the paper's selected
+// final model.
+func SPPNet2() ModelConfig { return model.SPPNet2() }
+
+// SPPNet3 is NAS candidate #3 (SPP 5,2,1 + F2048).
+func SPPNet3() ModelConfig { return model.SPPNet3() }
+
+// ModelCandidates returns all four Table 1 architectures.
+func ModelCandidates() []ModelConfig { return model.Candidates() }
+
+// ParseModel parses the paper's layer notation, e.g.
+// "C64,3,1-P2,2-C128,3,1-P2,2-C256,3,1-P2,2-SPP4,2,1-F1024".
+func ParseModel(name, notation string) (ModelConfig, error) {
+	return model.ParseNotation(name, notation)
+}
+
+// BuildModel constructs the trainable network for a configuration.
+func BuildModel(cfg ModelConfig, rng *rand.Rand) (*Network, error) { return cfg.Build(rng) }
+
+// Detect runs a trained network on a batch and decodes detections.
+func Detect(net *Network, x *Tensor) []Detection { return model.Detect(net, x) }
+
+// ScanConfig controls sliding-window raster scanning.
+type ScanConfig = model.ScanConfig
+
+// ScanHit is one confident, NMS-surviving detection in raster coordinates.
+type ScanHit = model.ScanHit
+
+// DefaultScanConfig returns a dense scan at a high confidence cut.
+func DefaultScanConfig(window int) ScanConfig { return model.DefaultScanConfig(window) }
+
+// Scan slides a trained detector over a full raster and returns merged
+// drainage-crossing locations (the survey operation that feeds DEM
+// breaching).
+func Scan(net *Network, img *Tensor, cfg ScanConfig) ([]ScanHit, error) {
+	return model.Scan(net, img, cfg)
+}
+
+// MatchHits scores detections against ground-truth crossings within a
+// tolerance radius, returning recall and precision.
+func MatchHits(hits []ScanHit, truth []GridPoint, radius int) (recall, precision float64) {
+	return model.MatchHits(hits, truth, radius)
+}
+
+// ---- Synthetic watershed and dataset ----
+
+// WatershedConfig controls watershed synthesis.
+type WatershedConfig = terrain.Config
+
+// Watershed is a synthesized study area: DEM, roads, streams, wetlands,
+// and ground-truth drainage crossings.
+type Watershed = terrain.Watershed
+
+// DefaultWatershedConfig matches the study area's character at 1 m
+// resolution.
+func DefaultWatershedConfig() WatershedConfig { return terrain.DefaultConfig() }
+
+// GenerateWatershed synthesizes a watershed.
+func GenerateWatershed(cfg WatershedConfig) (*Watershed, error) { return terrain.Generate(cfg) }
+
+// RenderOrthophoto renders the 4-band (R,G,B,NIR) image of a watershed.
+func RenderOrthophoto(w *Watershed) *Tensor { return terrain.Render(w) }
+
+// ClipConfig controls how labeled samples are clipped from the image.
+type ClipConfig = terrain.ClipConfig
+
+// DefaultClipConfig matches the paper's §3.2 preprocessing: 100×100
+// samples with the crossing near the center.
+func DefaultClipConfig() ClipConfig { return terrain.DefaultClipConfig() }
+
+// Dataset is a set of labeled clips with deterministic splitting.
+type Dataset = terrain.Dataset
+
+// Sample is one labeled clip.
+type Sample = terrain.Sample
+
+// BuildDataset clips positive and negative samples from a rendered
+// watershed.
+func BuildDataset(w *Watershed, img *Tensor, cc ClipConfig) (*Dataset, error) {
+	return terrain.BuildDataset(w, img, cc)
+}
+
+// ClipImage extracts a size×size window from a C×H×W image at (r0, c0).
+func ClipImage(img *Tensor, r0, c0, size int) *Tensor {
+	return terrain.Clip(img, r0, c0, size)
+}
+
+// Augment extends a dataset with random square symmetries (flips and
+// rotations), transforming box targets to match.
+func Augment(ds *Dataset, extraPerSample int, seed int64) *Dataset {
+	return terrain.Augment(ds, extraPerSample, seed)
+}
+
+// SaveDataset / LoadDataset cache expensive dataset generation to disk.
+func SaveDataset(path string, ds *Dataset) error { return terrain.SaveDatasetFile(path, ds) }
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) { return terrain.LoadDatasetFile(path) }
+
+// ---- Hydrology ----
+
+// Grid is a raster of float64 values (elevations, accumulations).
+type Grid = hydro.Grid
+
+// GridPoint is a raster coordinate.
+type GridPoint = hydro.Point
+
+// FlowDirections computes D8 steepest-descent directions.
+func FlowDirections(dem *Grid) *hydro.FlowDir { return hydro.D8FlowDirections(dem) }
+
+// FlowAccumulation computes D8 flow accumulation.
+func FlowAccumulation(dem *Grid, dirs *hydro.FlowDir) *Grid {
+	return hydro.FlowAccumulation(dem, dirs)
+}
+
+// FillDepressions removes interior sinks (priority-flood).
+func FillDepressions(dem *Grid) *Grid { return hydro.FillDepressions(dem) }
+
+// FillDepressionsLimited fills only shallow depressions (≤ maxDepth of
+// fill), so dam-impounded ponds persist for diagnosis.
+func FillDepressionsLimited(dem *Grid, maxDepth float64) *Grid {
+	return hydro.FillDepressionsLimited(dem, maxDepth)
+}
+
+// ConnectivityScore is the fraction of stream cells whose flow path
+// reaches the raster boundary; digital dams lower it.
+func ConnectivityScore(dem *Grid, streamThreshold float64) float64 {
+	return hydro.ConnectivityScore(dem, streamThreshold)
+}
+
+// BreachAll carves drainage channels through embankments at the given
+// crossing locations.
+func BreachAll(dem *Grid, points []GridPoint, radius int) { hydro.BreachAll(dem, points, radius) }
+
+// ---- Training and evaluation ----
+
+// TrainOptions configures a training run.
+type TrainOptions = train.Options
+
+// PaperTrainOptions returns the paper's §6.1 protocol (SGD lr 0.005,
+// weight decay 5e-4, momentum 0.9, batch 20).
+func PaperTrainOptions() TrainOptions { return train.PaperOptions() }
+
+// Fit trains a network on a dataset.
+func Fit(net *Network, ds *Dataset, opt TrainOptions) ([]train.EpochStats, error) {
+	return train.Fit(net, ds, opt)
+}
+
+// EvaluateDetector scores a trained detector with AP at an IoU threshold
+// (the paper's Equation 1).
+func EvaluateDetector(net *Network, ds *Dataset, iouThresh float64) Evaluation {
+	return train.Evaluate(net, ds, iouThresh)
+}
+
+// Detection is one model output: confidence and box.
+type Detection = metrics.Detection
+
+// Evaluation is an AP/PR scoring result.
+type Evaluation = metrics.Evaluation
+
+// IoU returns intersection-over-union of two normalized boxes.
+func IoU(a, b metrics.Box) float64 { return metrics.IoU(a, b) }
+
+// ---- NAS (paper §4, §5.4) ----
+
+// SearchSpace is the Retiarii-style model space.
+type SearchSpace = nas.Space
+
+// DefaultSearchSpace returns the paper's §4.2 space: conv1 kernel
+// {1,3,5,7,9}, first SPP level {1..5}, FC width {128..8192}.
+func DefaultSearchSpace() SearchSpace { return nas.DefaultSpace() }
+
+// Evaluator scores one architecture.
+type Evaluator = nas.Evaluator
+
+// FunctionalEvaluator adapts a plain function (Retiarii's
+// FunctionalEvaluator).
+type FunctionalEvaluator = nas.FunctionalEvaluator
+
+// Trial is one evaluated architecture.
+type Trial = nas.Trial
+
+// RandomSearch runs the multi-trial random exploration strategy.
+func RandomSearch(space SearchSpace, eval Evaluator, maxTrials int, seed int64) []Trial {
+	return nas.RandomSearch(space, eval, maxTrials, seed)
+}
+
+// EvolutionSearch runs regularized (aging) evolution over the space — an
+// alternative exploration strategy to the paper's random search.
+func EvolutionSearch(space SearchSpace, eval Evaluator, cfg nas.EvolutionConfig) []Trial {
+	return nas.EvolutionSearch(space, eval, cfg)
+}
+
+// DefaultEvolution returns a small, sensible evolution configuration.
+func DefaultEvolution() nas.EvolutionConfig { return nas.DefaultEvolution() }
+
+// ResourceAwareSelect performs the §5.4 accuracy-constrained efficiency
+// optimization: maximize e(n) subject to a(n) > threshold.
+func ResourceAwareSelect(trials []Trial, threshold float64, batch int) (*nas.Selection, error) {
+	return nas.ResourceAware(trials, nas.IOSMeasurer{Dev: RTXA5500()}, threshold, batch)
+}
+
+// ---- Inference graphs, IOS, GPU simulation (paper §5, §6.3–6.4) ----
+
+// Graph is the operator-DAG inference IR.
+type Graph = graph.Graph
+
+// BuildGraph lowers a model configuration to its inference graph.
+func BuildGraph(cfg ModelConfig) (*Graph, error) { return cfg.BuildGraph() }
+
+// Device describes a simulated GPU.
+type Device = gpu.DeviceConfig
+
+// RTXA5500 returns the paper's GPU, simulated (10240 CUDA cores, 24 GB).
+func RTXA5500() Device { return gpu.RTXA5500() }
+
+// Schedule is an execution plan: stages of concurrent groups.
+type Schedule = ios.Schedule
+
+// SequentialSchedule returns the framework-eager baseline schedule.
+func SequentialSchedule(g *Graph) *Schedule { return ios.SequentialSchedule(g) }
+
+// GreedySchedule returns the ASAP-levels baseline schedule.
+func GreedySchedule(g *Graph) *Schedule { return ios.GreedySchedule(g) }
+
+// OptimizeSchedule runs the IOS dynamic program against the device's cost
+// model at the given batch size.
+func OptimizeSchedule(g *Graph, dev Device, batch int) (*Schedule, error) {
+	return ios.Optimize(g, ios.NewSimOracle(dev), batch)
+}
+
+// LatencyResult summarizes one measured inference.
+type LatencyResult = ios.RunResult
+
+// MeasureLatency executes a schedule on a warm simulated device and
+// reports end-to-end latency and per-image efficiency.
+func MeasureLatency(g *Graph, sched *Schedule, dev Device, batch int) LatencyResult {
+	return ios.NewRuntime(dev).Measure(g, sched, batch)
+}
+
+// ---- Profiling (paper §7) ----
+
+// Profile is a combined nsys-style report: memory operations (Fig 7),
+// CUDA API shares (Fig 8), kernel classes (Table 3).
+type Profile = profiler.Profile
+
+// ProfileInference profiles one cold-process inference.
+func ProfileInference(dev Device, g *Graph, sched *Schedule, batch int) Profile {
+	return profiler.Run(dev, g, sched, batch)
+}
+
+// ---- Multi-GPU extension (paper §4.1 future work) ----
+
+// MultiGPUConfig describes a simulated multi-GPU node.
+type MultiGPUConfig = ios.MultiGPUConfig
+
+// MultiSchedule is a placed, timed multi-GPU execution plan.
+type MultiSchedule = ios.MultiSchedule
+
+// DefaultMultiGPU returns an n-GPU RTX A5500 node joined by NVLink.
+func DefaultMultiGPU(n int) MultiGPUConfig { return ios.DefaultMultiGPU(n) }
+
+// OptimizeMultiGPU places the graph's operators across a multi-GPU node
+// with earliest-finish-time list scheduling (HIOS-style inter-GPU level).
+func OptimizeMultiGPU(g *Graph, cfg MultiGPUConfig, batch int) (*MultiSchedule, error) {
+	return ios.OptimizeMultiGPU(g, cfg, batch)
+}
+
+// ---- Model persistence ----
+
+// SaveModel writes a trained network's parameters to path.
+func SaveModel(path string, net *Network) error { return train.SaveFile(path, net) }
+
+// LoadModel restores parameters saved by SaveModel into a network of the
+// same architecture.
+func LoadModel(path string, net *Network) error { return train.LoadFile(path, net) }
+
+// ---- Two-stage baseline (paper §8.1) ----
+
+// BaselineDetector is the two-stage proposal+classify detector (Faster
+// R-CNN stand-in).
+type BaselineDetector = baseline.Detector
+
+// NewBaselineDetector builds the two-stage baseline.
+func NewBaselineDetector(rng *rand.Rand) (*BaselineDetector, error) {
+	return baseline.New(rng, baseline.DefaultConfig())
+}

@@ -1,0 +1,192 @@
+package drainnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole pipeline through the exported
+// façade only: generate → render → clip → train → evaluate → graph →
+// schedule → measure → profile → breach.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Watershed and data.
+	wc := DefaultWatershedConfig()
+	wc.Rows, wc.Cols = 256, 256
+	wc.RoadSpacing = 72
+	wc.StreamThreshold = 120
+	w, err := GenerateWatershed(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := RenderOrthophoto(w)
+	cc := DefaultClipConfig()
+	cc.Size = 40
+	cc.JitterFrac = 0.08
+	cc.ClipsPerCrossing = 2
+	ds, err := BuildDataset(w, img, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainDS, testDS := ds.SplitByCrossing(0.8, 1)
+
+	// Model and quick training.
+	cfg := OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := BuildModel(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PaperTrainOptions()
+	opt.Epochs = 3
+	opt.BatchSize = 10
+	opt.BoxWeight = 5
+	if _, err := Fit(net, trainDS, opt); err != nil {
+		t.Fatal(err)
+	}
+	ev := EvaluateDetector(net, testDS, 0.3)
+	if ev.Positives == 0 {
+		t.Fatal("no positives in test set")
+	}
+
+	// Detections decode.
+	x, _ := testDS.Batch(0, 2)
+	dets := Detect(net, x)
+	if len(dets) != 2 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+
+	// Inference efficiency on the simulated GPU.
+	g, err := BuildGraph(SPPNet2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := RTXA5500()
+	seq := MeasureLatency(g, SequentialSchedule(g), dev, 1)
+	sched, err := OptimizeSchedule(g, dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes := MeasureLatency(g, sched, dev, 1)
+	if optRes.LatencyNs >= seq.LatencyNs {
+		t.Fatal("optimized schedule must beat sequential")
+	}
+
+	// Profiling.
+	p := ProfileInference(dev, g, sched, 4)
+	if p.Kernels.TotalNs <= 0 || p.API.TotalNs <= 0 {
+		t.Fatal("empty profile")
+	}
+
+	// Hydrologic repair with the true crossings.
+	before := ConnectivityScore(w.DEM, wc.StreamThreshold)
+	repaired := w.DEM.Clone()
+	BreachAll(repaired, w.Crossings, 4)
+	after := ConnectivityScore(repaired, wc.StreamThreshold)
+	if after <= before {
+		t.Fatalf("breaching must improve connectivity: %v → %v", before, after)
+	}
+}
+
+func TestPublicAPINotationRoundTrip(t *testing.T) {
+	cfg, err := ParseModel("custom", "C64,3,1-P2,2-C128,3,1-P2,2-C256,3,1-P2,2-SPP5,2,1-F4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Notation() != SPPNet2().Notation() {
+		t.Fatalf("parsed %q", cfg.Notation())
+	}
+}
+
+func TestPublicAPINASSelection(t *testing.T) {
+	space := DefaultSearchSpace()
+	eval := FunctionalEvaluator(func(cfg ModelConfig) (float64, error) {
+		// Proxy accuracy: favors the paper's trend (deeper SPP, wider FC).
+		acc := 0.93
+		if cfg.SPPLevels[0] >= 5 {
+			acc += 0.02
+		}
+		if cfg.FCWidth >= 2048 {
+			acc += 0.01
+		}
+		return acc, nil
+	})
+	trials := RandomSearch(space, eval, 25, 3)
+	if len(trials) == 0 {
+		t.Fatal("no trials")
+	}
+	sel, err := ResourceAwareSelect(trials, 0.94, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Best() == nil {
+		t.Fatal("no selection")
+	}
+	if sel.Best().Accuracy <= 0.94 {
+		t.Fatal("selection violated the accuracy constraint")
+	}
+}
+
+func TestPublicAPIExtensions(t *testing.T) {
+	// Augmentation + dataset persistence.
+	wc := DefaultWatershedConfig()
+	wc.Rows, wc.Cols = 256, 256
+	wc.RoadSpacing = 96
+	wc.StreamThreshold = 120
+	w, err := GenerateWatershed(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := DefaultClipConfig()
+	cc.Size = 40
+	ds, err := BuildDataset(w, RenderOrthophoto(w), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := Augment(ds, 2, 1)
+	if len(aug.Samples) != 3*len(ds.Samples) {
+		t.Fatalf("augment size %d", len(aug.Samples))
+	}
+	path := t.TempDir() + "/ds.gob"
+	if err := SaveDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(ds.Samples) {
+		t.Fatal("dataset round trip lost samples")
+	}
+
+	// Evolutionary NAS.
+	eval := FunctionalEvaluator(func(cfg ModelConfig) (float64, error) { return 0.9, nil })
+	if trials := EvolutionSearch(DefaultSearchSpace(), eval, DefaultEvolution()); len(trials) == 0 {
+		t.Fatal("no evolution trials")
+	}
+
+	// Multi-GPU extension.
+	g, err := BuildGraph(SPPNet2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OptimizeMultiGPU(g, DefaultMultiGPU(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MakespanNs <= 0 {
+		t.Fatal("empty multi-GPU plan")
+	}
+
+	// Model persistence.
+	cfg := OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := BuildModel(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := t.TempDir() + "/m.ckpt"
+	if err := SaveModel(mp, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadModel(mp, net); err != nil {
+		t.Fatal(err)
+	}
+}

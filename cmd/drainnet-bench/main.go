@@ -1,0 +1,128 @@
+// drainnet-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	drainnet-bench -exp table2             # one experiment
+//	drainnet-bench -exp all                # everything except training
+//	drainnet-bench -exp all -train         # everything, including Table 1
+//	drainnet-bench -exp table1 -tiny       # seconds-scale training config
+//
+// Experiments: table1, table2, table3, fig6, fig7, fig8, baseline,
+// ablation-sched, ablation-spp, ablation-conv, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drainnet/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1,table2,table3,fig6,fig7,fig8,baseline,ablation-sched,ablation-spp,ablation-conv,all)")
+	tiny := flag.Bool("tiny", false, "use the seconds-scale training config")
+	withTrain := flag.Bool("train", false, "include training experiments (table1, baseline) under -exp all")
+	flag.Parse()
+
+	dc := experiments.FastData()
+	if *tiny {
+		dc = experiments.TinyData()
+	}
+
+	run := func(id string) error {
+		switch id {
+		case "table1":
+			res, err := experiments.Table1(dc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "table2":
+			res, err := experiments.Table2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "table3":
+			res, err := experiments.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig6":
+			res, err := experiments.Figure6()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig7":
+			res, err := experiments.Figure7()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig8":
+			res, err := experiments.Figure8()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "baseline":
+			res, err := experiments.Baseline(dc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "ablation-sched":
+			res, err := experiments.AblationSchedulers()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "ablation-spp":
+			res, err := experiments.AblationSPPLevels(4)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "ablation-conv":
+			fmt.Println(experiments.AblationConvAlgo().Render())
+		case "census":
+			res, err := experiments.SpaceCensus(1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "throughput":
+			res, err := experiments.Throughput(10000)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "multigpu":
+			res, err := experiments.ExtensionMultiGPU(16)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table2", "fig6", "fig7", "fig8", "table3", "ablation-sched", "ablation-spp", "ablation-conv", "multigpu", "throughput", "census"}
+		if *withTrain {
+			ids = append([]string{"table1"}, append(ids, "baseline")...)
+		}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "drainnet-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

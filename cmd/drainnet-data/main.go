@@ -1,0 +1,76 @@
+// drainnet-data synthesizes a watershed, reports its hydrology, and
+// demonstrates the digital-dam → breach → connectivity-repair cycle that
+// motivates the paper.
+//
+// Usage:
+//
+//	drainnet-data                       # default 512×512 watershed
+//	drainnet-data -rows 384 -spacing 96 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drainnet/internal/hydro"
+	"drainnet/internal/terrain"
+)
+
+func main() {
+	rows := flag.Int("rows", 512, "raster rows")
+	cols := flag.Int("cols", 512, "raster cols")
+	spacing := flag.Int("spacing", 128, "road spacing in cells")
+	seed := flag.Int64("seed", 2022, "generation seed")
+	clipSize := flag.Int("clip", 100, "sample clip size")
+	flag.Parse()
+
+	cfg := terrain.DefaultConfig()
+	cfg.Rows, cfg.Cols = *rows, *cols
+	cfg.RoadSpacing = *spacing
+	cfg.Seed = *seed
+	w, err := terrain.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drainnet-data:", err)
+		os.Exit(1)
+	}
+	lo, hi := w.BaseDEM.MinMax()
+	fmt.Printf("watershed %dx%d (seed %d): elevation %.1f–%.1f m\n", cfg.Rows, cfg.Cols, cfg.Seed, lo, hi)
+
+	count := func(mask []bool) int {
+		n := 0
+		for _, v := range mask {
+			if v {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("streams: %d cells   roads: %d cells   wetlands: %d cells\n",
+		count(w.StreamMask), count(w.RoadMask), count(w.WetMask))
+	fmt.Printf("drainage crossings (culverts): %d\n", len(w.Crossings))
+
+	// Score connectivity after limited depression filling: natural
+	// micro-pits drain, dam-impounded ponds persist.
+	score := func(dem *hydro.Grid) float64 {
+		return hydro.ConnectivityScore(hydro.FillDepressionsLimited(dem, 0.5), cfg.StreamThreshold)
+	}
+	base := score(w.BaseDEM)
+	dammed := score(w.DEM)
+	repaired := w.DEM.Clone()
+	hydro.BreachAll(repaired, w.Crossings, 4)
+	fixed := score(repaired)
+	fmt.Printf("hydrologic connectivity: base %.3f → with digital dams %.3f → breached at crossings %.3f\n",
+		base, dammed, fixed)
+
+	img := terrain.Render(w)
+	cc := terrain.DefaultClipConfig()
+	cc.Size = *clipSize
+	ds, err := terrain.BuildDataset(w, img, cc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drainnet-data:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset: %d samples (%d positives) at %d×%d×4 bands\n",
+		len(ds.Samples), ds.Positives(), cc.Size, cc.Size)
+}

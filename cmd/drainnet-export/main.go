@@ -1,0 +1,84 @@
+// drainnet-export renders the synthetic study area to PNG files:
+// true-color and color-infrared orthophoto composites, DEM hillshades
+// before and after embankments, and a crossing overlay.
+//
+// Usage:
+//
+//	drainnet-export -out ./renders
+//	drainnet-export -rows 384 -spacing 96 -out ./renders
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"drainnet/internal/export"
+	"drainnet/internal/terrain"
+)
+
+func main() {
+	rows := flag.Int("rows", 512, "raster rows")
+	cols := flag.Int("cols", 512, "raster cols")
+	spacing := flag.Int("spacing", 128, "road spacing in cells")
+	seed := flag.Int64("seed", 2022, "generation seed")
+	out := flag.String("out", "renders", "output directory")
+	flag.Parse()
+
+	cfg := terrain.DefaultConfig()
+	cfg.Rows, cfg.Cols = *rows, *cols
+	cfg.RoadSpacing = *spacing
+	cfg.Seed = *seed
+	w, err := terrain.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	img := terrain.Render(w)
+
+	files := map[string]func() error{
+		"orthophoto_rgb.png": func() error {
+			return export.SavePNG(filepath.Join(*out, "orthophoto_rgb.png"), export.TrueColor(img))
+		},
+		"orthophoto_cir.png": func() error {
+			return export.SavePNG(filepath.Join(*out, "orthophoto_cir.png"), export.ColorInfrared(img))
+		},
+		"hillshade_base.png": func() error {
+			return export.SavePNG(filepath.Join(*out, "hillshade_base.png"), export.Hillshade(w.BaseDEM))
+		},
+		"hillshade_dammed.png": func() error {
+			return export.SavePNG(filepath.Join(*out, "hillshade_dammed.png"), export.Hillshade(w.DEM))
+		},
+		"crossings_overlay.png": func() error {
+			base := export.TrueColor(img)
+			return export.SavePNG(filepath.Join(*out, "crossings_overlay.png"),
+				export.Overlay(base, w.Crossings, nil, 12))
+		},
+		"dem.asc": func() error {
+			f, err := os.Create(filepath.Join(*out, "dem.asc"))
+			if err != nil {
+				return err
+			}
+			if err := export.WriteASCIIGrid(f, w.DEM); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		},
+	}
+	for name, write := range files {
+		if err := write(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(*out, name))
+	}
+	fmt.Printf("%d drainage crossings rendered\n", len(w.Crossings))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drainnet-export:", err)
+	os.Exit(1)
+}

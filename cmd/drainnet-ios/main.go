@@ -1,0 +1,94 @@
+// drainnet-ios optimizes a model's execution schedule with the IOS
+// dynamic program and reports sequential vs optimized latency, like the
+// paper's IOS_Model.py artifact.
+//
+// Usage:
+//
+//	drainnet-ios -model sppnet2 -batch 1
+//	drainnet-ios -model sppnet2 -batches 1,2,4,8,16,32,64
+//	drainnet-ios -model original -show-schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"drainnet/internal/experiments"
+	"drainnet/internal/ios"
+	"drainnet/internal/model"
+)
+
+func main() {
+	name := flag.String("model", "sppnet2", "preset: original, sppnet1, sppnet2, sppnet3")
+	notation := flag.String("notation", "", "explicit layer notation (overrides -model)")
+	batch := flag.Int("batch", 1, "batch size")
+	batches := flag.String("batches", "", "comma-separated batch sweep (overrides -batch)")
+	show := flag.Bool("show-schedule", false, "print the optimized stage/group structure")
+	flag.Parse()
+
+	var cfg model.Config
+	var err error
+	if *notation != "" {
+		cfg, err = model.ParseNotation("custom", *notation)
+	} else {
+		switch strings.ToLower(*name) {
+		case "original":
+			cfg = model.OriginalSPPNet()
+		case "sppnet1":
+			cfg = model.SPPNet1()
+		case "sppnet2":
+			cfg = model.SPPNet2()
+		case "sppnet3":
+			cfg = model.SPPNet3()
+		default:
+			err = fmt.Errorf("unknown model %q", *name)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	g, err := cfg.BuildGraph()
+	if err != nil {
+		fatal(err)
+	}
+	dev := experiments.Device()
+	rt := ios.NewRuntime(dev)
+	oracle := ios.NewSimOracle(dev)
+
+	var sweep []int
+	if *batches != "" {
+		for _, f := range strings.Split(*batches, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad batch %q", f))
+			}
+			sweep = append(sweep, v)
+		}
+	} else {
+		sweep = []int{*batch}
+	}
+
+	fmt.Printf("model: %s  (%s)\ndevice: %s\n", cfg.Name, cfg.Notation(), dev.Name)
+	fmt.Printf("%6s %14s %14s %9s %16s\n", "batch", "seq ms", "IOS ms", "gain", "IOS µs/image")
+	for _, b := range sweep {
+		seq := rt.Measure(g, ios.SequentialSchedule(g), b)
+		sched, err := ios.Optimize(g, oracle, b)
+		if err != nil {
+			fatal(err)
+		}
+		opt := rt.Measure(g, sched, b)
+		fmt.Printf("%6d %14.3f %14.3f %8.2fx %16.1f\n",
+			b, seq.LatencyNs/1e6, opt.LatencyNs/1e6, seq.LatencyNs/opt.LatencyNs, opt.EfficiencyNsPerImage/1e3)
+		if *show {
+			fmt.Print(sched.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drainnet-ios:", err)
+	os.Exit(1)
+}

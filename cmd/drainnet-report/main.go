@@ -1,0 +1,84 @@
+// drainnet-report regenerates every simulator-backed experiment and
+// writes a single markdown results file — the one-command artifact for
+// checking this reproduction against the paper.
+//
+// Usage:
+//
+//	drainnet-report                  # writes RESULTS.md
+//	drainnet-report -out results.md
+//	drainnet-report -train           # also run Table 1 and the baseline (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"drainnet/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "RESULTS.md", "output markdown path")
+	withTrain := flag.Bool("train", false, "include training experiments (Table 1, §8.1 baseline)")
+	flag.Parse()
+
+	var b strings.Builder
+	b.WriteString("# drainnet results\n\n")
+	fmt.Fprintf(&b, "Generated %s. Paper-vs-measured commentary: EXPERIMENTS.md.\n\n",
+		time.Now().Format(time.RFC3339))
+
+	section := func(title, body string) {
+		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", title, body)
+	}
+
+	if *withTrain {
+		fmt.Println("running Table 1 (training 4 models, minutes)...")
+		if t1, err := experiments.Table1(experiments.FastData()); err == nil {
+			section("Table 1 — average precision", t1.Render())
+		} else {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+		}
+	}
+
+	run := []struct {
+		title string
+		fn    func() (interface{ Render() string }, error)
+	}{
+		{"Table 2 — sequential vs IOS latency", func() (interface{ Render() string }, error) { return experiments.Table2() }},
+		{"Figure 6 — batch-size efficiency", func() (interface{ Render() string }, error) { return experiments.Figure6() }},
+		{"Figure 7 — GPU memops timing", func() (interface{ Render() string }, error) { return experiments.Figure7() }},
+		{"Figure 8 — CUDA API usage", func() (interface{ Render() string }, error) { return experiments.Figure8() }},
+		{"Table 3 — kernel-class breakdown", func() (interface{ Render() string }, error) { return experiments.Table3() }},
+		{"Ablation — schedulers", func() (interface{ Render() string }, error) { return experiments.AblationSchedulers() }},
+		{"Ablation — SPP pyramid depth", func() (interface{ Render() string }, error) { return experiments.AblationSPPLevels(4) }},
+		{"Ablation — convolution algorithm", func() (interface{ Render() string }, error) { return experiments.AblationConvAlgo(), nil }},
+		{"Derived — survey throughput", func() (interface{ Render() string }, error) { return experiments.Throughput(10000) }},
+		{"Derived — search-space latency census", func() (interface{ Render() string }, error) { return experiments.SpaceCensus(1) }},
+		{"Extension — multi-GPU placement", func() (interface{ Render() string }, error) { return experiments.ExtensionMultiGPU(16) }},
+	}
+	for _, r := range run {
+		res, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drainnet-report: %s: %v\n", r.title, err)
+			os.Exit(1)
+		}
+		section(r.title, res.Render())
+	}
+
+	if *withTrain {
+		fmt.Println("running §8.1 baseline (training, minutes)...")
+		if bl, err := experiments.Baseline(experiments.FastData()); err == nil {
+			section("§8.1 — two-stage baseline", bl.Render())
+		} else {
+			fmt.Fprintln(os.Stderr, "baseline:", err)
+		}
+	}
+
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "drainnet-report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

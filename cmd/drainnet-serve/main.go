@@ -1,0 +1,66 @@
+// drainnet-serve trains (or loads) a drainage-crossing detector and
+// serves it over HTTP:
+//
+//	POST /detect  {"bands":4,"size":100,"pixels":[...]} → detection JSON
+//	GET  /model   served architecture and parameter count
+//	GET  /healthz liveness
+//
+// Usage:
+//
+//	drainnet-serve -addr :8080                 # train quickly, then serve
+//	drainnet-serve -ckpt model.ckpt            # load a saved checkpoint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+
+	"drainnet/internal/experiments"
+	"drainnet/internal/model"
+	"drainnet/internal/serve"
+	"drainnet/internal/train"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ckpt := flag.String("ckpt", "", "checkpoint to load (skips training)")
+	threshold := flag.Float64("threshold", 0.7, "objectness confidence threshold")
+	flag.Parse()
+
+	dc := experiments.TinyData()
+	cfg := model.SPPNet2().Scaled(dc.WidthScale).WithInput(4, dc.ClipSize)
+	net, err := cfg.Build(rand.New(rand.NewSource(dc.NetSeed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ckpt != "" {
+		if err := train.LoadFile(*ckpt, net); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded checkpoint %s\n", *ckpt)
+	} else {
+		fmt.Println("training a detector (use -ckpt to skip)...")
+		trainDS, testDS, err := experiments.BuildData(dc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := train.PaperOptions()
+		opt.Epochs = dc.Epochs
+		opt.BatchSize = dc.BatchSize
+		opt.BoxWeight = 5
+		opt.LRStepEpoch = dc.Epochs * 2 / 3
+		opt.LRStepGamma = 0.1
+		if _, err := train.Fit(net, trainDS, opt); err != nil {
+			log.Fatal(err)
+		}
+		ev := train.Evaluate(net, testDS, dc.IoUThreshold)
+		fmt.Printf("trained: AP@%.1f = %.1f%%\n", dc.IoUThreshold, ev.AP*100)
+	}
+
+	srv := serve.New(cfg, net, *threshold)
+	fmt.Printf("serving %s on %s\n", cfg.Name, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,64 @@
+// Batch tuning: the paper's §6.4 methodology — sweep batch sizes on the
+// selected model, watch per-image latency fall with diminishing returns,
+// and pick the optimal batch (the paper selects 32). Also prints the §7
+// profiling summary at the chosen batch.
+//
+//	go run ./examples/batch_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drainnet"
+)
+
+func main() {
+	dev := drainnet.RTXA5500()
+	g, err := drainnet.BuildGraph(drainnet.SPPNet2())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("batch-size sweep on SPP-Net #2 (IOS-optimized schedules):")
+	fmt.Printf("%6s %16s %16s %12s\n", "batch", "latency ms", "µs/image", "marginal")
+	batches := []int{1, 2, 4, 8, 16, 32, 64}
+	perImage := make([]float64, len(batches))
+	var schedules []*drainnet.Schedule
+	for i, b := range batches {
+		sched, err := drainnet.OptimizeSchedule(g, dev, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		schedules = append(schedules, sched)
+		res := drainnet.MeasureLatency(g, sched, dev, b)
+		perImage[i] = res.EfficiencyNsPerImage
+		marginal := "-"
+		if i > 0 {
+			marginal = fmt.Sprintf("%.1f%%", 100*(perImage[i-1]-perImage[i])/perImage[i-1])
+		}
+		fmt.Printf("%6d %16.3f %16.1f %12s\n", b, res.LatencyNs/1e6, perImage[i]/1e3, marginal)
+	}
+
+	// Choose the smallest batch whose next doubling improves per-image
+	// latency by less than 5% — the knee of the curve.
+	chosen := batches[len(batches)-1]
+	for i := 0; i+1 < len(batches); i++ {
+		if (perImage[i]-perImage[i+1])/perImage[i] < 0.05 {
+			chosen = batches[i]
+			break
+		}
+	}
+	fmt.Printf("\noptimal batch size: %d (the paper selects 32 on real hardware)\n", chosen)
+
+	// Profile the chosen configuration, nsys-style.
+	idx := 0
+	for i, b := range batches {
+		if b == chosen {
+			idx = i
+		}
+	}
+	p := drainnet.ProfileInference(dev, g, schedules[idx], chosen)
+	fmt.Println()
+	fmt.Print(p.Render())
+}

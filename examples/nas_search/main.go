@@ -1,0 +1,76 @@
+// NAS search: the paper's Fig 5 pipeline on real (small-scale) training —
+// random multi-trial search over the §4.2 space, an accuracy constraint,
+// and IOS-based efficiency selection. Expect a few minutes.
+//
+//	go run ./examples/nas_search
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"drainnet"
+)
+
+func main() {
+	// Shared dataset for every trial.
+	wc := drainnet.DefaultWatershedConfig()
+	wc.Rows, wc.Cols = 256, 256
+	wc.RoadSpacing = 72
+	wc.StreamThreshold = 120
+	w, err := drainnet.GenerateWatershed(wc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := drainnet.RenderOrthophoto(w)
+	cc := drainnet.DefaultClipConfig()
+	cc.Size = 40
+	cc.JitterFrac = 0.08
+	cc.ClipsPerCrossing = 2
+	ds, err := drainnet.BuildDataset(w, img, cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainDS, testDS := ds.SplitByCrossing(0.8, 5)
+
+	// Functional evaluator: train the sampled architecture briefly and
+	// score test AP (the Retiarii FunctionalEvaluator role).
+	eval := drainnet.FunctionalEvaluator(func(cfg drainnet.ModelConfig) (float64, error) {
+		net, err := drainnet.BuildModel(cfg.Scaled(16).WithInput(4, cc.Size), rand.New(rand.NewSource(7)))
+		if err != nil {
+			return 0, err
+		}
+		opt := drainnet.PaperTrainOptions()
+		opt.Epochs = 8
+		opt.BatchSize = 10
+		opt.BoxWeight = 5
+		opt.LRStepEpoch = 6
+		opt.LRStepGamma = 0.1
+		if _, err := drainnet.Fit(net, trainDS, opt); err != nil {
+			return 0, err
+		}
+		return drainnet.EvaluateDetector(net, testDS, 0.3).AP, nil
+	})
+
+	// Multi-trial random search (paper §4.2's strategy).
+	space := drainnet.DefaultSearchSpace()
+	trials := drainnet.RandomSearch(space, eval, 5, 42)
+	for _, t := range trials {
+		fmt.Printf("trial %-28s AP %.1f%%\n", t.Config.Name, t.Accuracy*100)
+	}
+
+	// Accuracy-constrained efficiency optimization (paper §5.4): keep
+	// a(n) > A, rank by IOS-optimized latency at batch 1.
+	const threshold = 0.60
+	sel, err := drainnet.ResourceAwareSelect(trials, threshold, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := sel.Best()
+	fmt.Printf("\nselected: %s\n", best.Config.Name)
+	fmt.Printf("  accuracy   %.1f%% (constraint: > %.0f%%)\n", best.Accuracy*100, threshold*100)
+	fmt.Printf("  latency    %.3f ms optimized (%.3f ms sequential)\n",
+		best.OptLatencyNs/1e6, best.SeqLatencyNs/1e6)
+	fmt.Printf("  %d of %d trials qualified\n", len(sel.Candidates), len(trials))
+}

@@ -1,0 +1,3 @@
+module drainnet
+
+go 1.22

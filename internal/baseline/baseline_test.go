@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/terrain"
+)
+
+func smallDataset(t *testing.T) (*terrain.Dataset, *terrain.Dataset) {
+	t.Helper()
+	cfg := terrain.DefaultConfig()
+	cfg.Rows, cfg.Cols = 256, 256
+	cfg.RoadSpacing = 72
+	cfg.StreamThreshold = 120
+	w, err := terrain.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := terrain.Render(w)
+	cc := terrain.DefaultClipConfig()
+	cc.Size = 40
+	cc.JitterFrac = 0.08
+	cc.ClipsPerCrossing = 3
+	ds, err := terrain.BuildDataset(w, img, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.SplitByCrossing(0.8, 5)
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowCells = 4
+	if _, err := New(rand.New(rand.NewSource(1)), cfg); err == nil {
+		t.Fatal("expected error for tiny window")
+	}
+}
+
+func TestProposalsPerImage(t *testing.T) {
+	d, err := New(rand.New(rand.NewSource(1)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// size 40, window 16, stride 4 → 7×7 proposals.
+	if got := d.ProposalsPerImage(40); got != 49 {
+		t.Fatalf("proposals = %d, want 49", got)
+	}
+}
+
+func TestDetectReturnsValidBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := New(rng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, testDS := smallDataset(t)
+	det := d.Detect(testDS.Samples[0].Image)
+	if det.Score < 0 || det.Score > 1 {
+		t.Fatalf("score %v", det.Score)
+	}
+	if det.Box.CX < 0 || det.Box.CX > 1 || det.Box.W <= 0 {
+		t.Fatalf("box %+v", det.Box)
+	}
+}
+
+func TestPatchClampsToBounds(t *testing.T) {
+	_, testDS := smallDataset(t)
+	img := testDS.Samples[0].Image
+	p := patch(img, -5, 100, 16)
+	if p.Dim(1) != 16 || p.Dim(2) != 16 {
+		t.Fatalf("patch shape %v", p.Shape())
+	}
+}
+
+func TestTrainImprovesAccuracy(t *testing.T) {
+	trainDS, testDS := smallDataset(t)
+	rng := rand.New(rand.NewSource(3))
+	d, err := New(rng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBefore, _ := d.Evaluate(testDS)
+	opt := DefaultTrainOptions()
+	opt.Epochs = 6
+	if err := d.Train(trainDS, opt); err != nil {
+		t.Fatal(err)
+	}
+	accAfter, iou := d.Evaluate(testDS)
+	if accAfter <= accBefore && accAfter < 0.75 {
+		t.Fatalf("training did not help: %v → %v", accBefore, accAfter)
+	}
+	if accAfter < 0.7 {
+		t.Fatalf("baseline accuracy = %v, want ≥ 0.7", accAfter)
+	}
+	// Sliding-window localization is stride-quantized: IoU must be decent
+	// but clearly imperfect (the §8.1 shape: accuracy ≫ IoU).
+	if iou <= 0.2 || iou >= 0.999 {
+		t.Fatalf("baseline IoU = %v, want moderate", iou)
+	}
+	if iou >= accAfter {
+		t.Fatalf("expected accuracy (%v) above IoU (%v), as in §8.1", accAfter, iou)
+	}
+}
+
+func TestTrainRejectsBadOptions(t *testing.T) {
+	trainDS, _ := smallDataset(t)
+	d, err := New(rand.New(rand.NewSource(4)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train(trainDS, TrainOptions{Epochs: 0, BatchSize: 4}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drainnet/internal/ios"
+	"drainnet/internal/model"
+	"drainnet/internal/nas"
+)
+
+// CensusEntry is one architecture's efficiency measurement.
+type CensusEntry struct {
+	Name     string
+	OptMs    float64
+	SeqMs    float64
+	ParamsMB float64
+}
+
+// CensusResult maps the efficiency objective e(n) over the entire §4.2
+// search space (175 architectures): the landscape the accuracy constraint
+// of §5.4 selects from. Entries are sorted fastest-first.
+type CensusResult struct {
+	Batch   int
+	Entries []CensusEntry
+}
+
+// SpaceCensus measures IOS-optimized and sequential latency for every
+// architecture in the paper's search space.
+func SpaceCensus(batch int) (*CensusResult, error) {
+	dev := Device()
+	rt := ios.NewRuntime(dev)
+	space := nas.DefaultSpace()
+	res := &CensusResult{Batch: batch}
+	for _, cfg := range space.All() {
+		g, err := cfg.BuildGraph()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", cfg.Name, err)
+		}
+		sched, err := ios.Optimize(g, ios.NewSimOracle(dev), batch)
+		if err != nil {
+			return nil, err
+		}
+		opt := rt.Measure(g, sched, batch)
+		seq := rt.Measure(g, ios.SequentialSchedule(g), batch)
+		res.Entries = append(res.Entries, CensusEntry{
+			Name:     cfg.Name,
+			OptMs:    opt.LatencyNs / 1e6,
+			SeqMs:    seq.LatencyNs / 1e6,
+			ParamsMB: paramsMB(cfg),
+		})
+	}
+	sort.Slice(res.Entries, func(i, j int) bool { return res.Entries[i].OptMs < res.Entries[j].OptMs })
+	return res, nil
+}
+
+func paramsMB(cfg model.Config) float64 {
+	g, err := cfg.BuildGraph()
+	if err != nil {
+		return 0
+	}
+	return float64(g.TotalWeightBytes()) / 1e6
+}
+
+// Quartiles returns the min, 25th, median, 75th, and max optimized
+// latency over the space.
+func (r *CensusResult) Quartiles() [5]float64 {
+	n := len(r.Entries)
+	at := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return r.Entries[i].OptMs
+	}
+	return [5]float64{at(0), at(0.25), at(0.5), at(0.75), at(1)}
+}
+
+// Render writes the census summary with the five fastest and five
+// slowest architectures.
+func (r *CensusResult) Render() string {
+	var b strings.Builder
+	q := r.Quartiles()
+	fmt.Fprintf(&b, "Search-space latency census (%d architectures, batch %d)\n", len(r.Entries), r.Batch)
+	fmt.Fprintf(&b, "optimized latency ms: min %.3f  p25 %.3f  median %.3f  p75 %.3f  max %.3f\n",
+		q[0], q[1], q[2], q[3], q[4])
+	b.WriteString("fastest:\n")
+	for i := 0; i < 5 && i < len(r.Entries); i++ {
+		e := r.Entries[i]
+		fmt.Fprintf(&b, "  %-28s %8.3f ms (seq %7.3f, %6.1f MB weights)\n", e.Name, e.OptMs, e.SeqMs, e.ParamsMB)
+	}
+	b.WriteString("slowest:\n")
+	for i := len(r.Entries) - 5; i < len(r.Entries); i++ {
+		if i < 0 {
+			continue
+		}
+		e := r.Entries[i]
+		fmt.Fprintf(&b, "  %-28s %8.3f ms (seq %7.3f, %6.1f MB weights)\n", e.Name, e.OptMs, e.SeqMs, e.ParamsMB)
+	}
+	return b.String()
+}

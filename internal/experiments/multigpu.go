@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drainnet/internal/graph"
+	"drainnet/internal/ios"
+	"drainnet/internal/model"
+)
+
+// MultiGPURow is one (graph, device-count) measurement.
+type MultiGPURow struct {
+	Graph      string
+	GPUs       int
+	MakespanUs float64
+	SpeedupX   float64 // vs 1 GPU on the same graph
+	TransferKB float64
+}
+
+// MultiGPUResult is the future-work extension experiment: HIOS-style
+// placement of SPP-Net #2 (mostly linear — modest gains expected) and a
+// four-tower ensemble (branch-parallel — real gains expected) across
+// 1/2/4 simulated GPUs.
+type MultiGPUResult struct {
+	Batch int
+	Rows  []MultiGPURow
+}
+
+// ExtensionMultiGPU runs the multi-GPU placement sweep at the given
+// batch size.
+func ExtensionMultiGPU(batch int) (*MultiGPUResult, error) {
+	res := &MultiGPUResult{Batch: batch}
+	graphs := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"SPP-Net #2", func() (*graph.Graph, error) { return model.SPPNet2().BuildGraph() }},
+		{"4-tower ensemble", func() (*graph.Graph, error) { return ensembleGraph(4), nil }},
+	}
+	for _, gg := range graphs {
+		g, err := gg.build()
+		if err != nil {
+			return nil, err
+		}
+		var base float64
+		for _, n := range []int{1, 2, 4} {
+			ms, err := ios.OptimizeMultiGPU(g, ios.DefaultMultiGPU(n), batch)
+			if err != nil {
+				return nil, err
+			}
+			if n == 1 {
+				base = ms.MakespanNs
+			}
+			res.Rows = append(res.Rows, MultiGPURow{
+				Graph:      gg.name,
+				GPUs:       n,
+				MakespanUs: ms.MakespanNs / 1e3,
+				SpeedupX:   base / ms.MakespanNs,
+				TransferKB: float64(ms.TransferBytes) / 1e3,
+			})
+		}
+	}
+	return res, nil
+}
+
+// ensembleGraph builds k independent conv towers merged at the end — the
+// DAG-parallel structure the HIOS extension targets.
+func ensembleGraph(towers int) *graph.Graph {
+	g := graph.NewGraph("ensemble", 4, 100, 100)
+	var heads []*graph.Node
+	for i := 0; i < towers; i++ {
+		x := g.Conv(g.In, fmt.Sprintf("t%d_conv1", i), 64, 3, 1)
+		x = g.Pool(x, fmt.Sprintf("t%d_pool1", i), 2, 2)
+		x = g.Conv(x, fmt.Sprintf("t%d_conv2", i), 128, 3, 1)
+		x = g.AdaptivePool(x, fmt.Sprintf("t%d_gap", i), 1)
+		heads = append(heads, x)
+	}
+	g.Concat(heads, "merge")
+	return g
+}
+
+// Render writes the extension table.
+func (r *MultiGPUResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — HIOS-style multi-GPU placement (batch %d)\n", r.Batch)
+	fmt.Fprintf(&b, "%-18s %6s %14s %9s %12s\n", "graph", "GPUs", "makespan µs", "speedup", "transfer KB")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %6d %14.1f %8.2fx %12.1f\n",
+			row.Graph, row.GPUs, row.MakespanUs, row.SpeedupX, row.TransferKB)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drainnet/internal/ios"
+	"drainnet/internal/model"
+	"drainnet/internal/profiler"
+)
+
+// profileAll profiles SPP-Net #2 under its IOS schedule at every batch
+// size, one cold process per batch (as the paper's nsys runs were).
+func profileAll() (map[int]profiler.Profile, error) {
+	dev := Device()
+	cfg := model.SPPNet2()
+	g, err := cfg.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]profiler.Profile, len(Batches))
+	for _, batch := range Batches {
+		sched, err := ios.Optimize(g, ios.NewSimOracle(dev), batch)
+		if err != nil {
+			return nil, err
+		}
+		out[batch] = profiler.Run(dev, g, sched, batch)
+	}
+	return out, nil
+}
+
+// Figure7Row is one batch size's memory-operation timing.
+type Figure7Row struct {
+	Batch       int
+	PerImageNs  float64
+	TotalNs     float64
+	Transfers   int
+	BytesMovedM float64
+}
+
+// Figure7Result reproduces Fig 7: GPU memops timing usage across batch
+// sizes (per-image transfer time, which stabilizes once fixed per-copy
+// overhead amortizes; the paper reports stabilization at 19168 ns).
+type Figure7Result struct {
+	Rows []Figure7Row
+}
+
+// Figure7 profiles every batch size and extracts the memop report.
+func Figure7() (*Figure7Result, error) {
+	profiles, err := profileAll()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{}
+	for _, batch := range Batches {
+		p := profiles[batch]
+		res.Rows = append(res.Rows, Figure7Row{
+			Batch:       batch,
+			PerImageNs:  p.Memops.PerSampleNs,
+			TotalNs:     p.Memops.TotalNs,
+			Transfers:   p.Memops.Transfers,
+			BytesMovedM: float64(p.Memops.BytesMoved) / 1e6,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the figure's series.
+func (r *Figure7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — GPU memops timing usage (per-image ns; paper stabilizes at 19168)\n")
+	fmt.Fprintf(&b, "%6s %14s %14s %10s %10s\n", "batch", "ns/image", "total ns", "copies", "MB moved")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %14.0f %14.0f %10d %10.2f\n", row.Batch, row.PerImageNs, row.TotalNs, row.Transfers, row.BytesMovedM)
+	}
+	return b.String()
+}
+
+// Figure8Row is one batch size's CUDA API shares.
+type Figure8Row struct {
+	Batch      int
+	LibLoadPct float64
+	SyncPct    float64
+	LaunchPct  float64
+	MemcpyPct  float64
+}
+
+// Figure8Result reproduces Fig 8: CUDA API time shares across batch sizes
+// (cuLibraryLoadData dominant at batch 1; cudaDeviceSynchronize overtakes
+// it by batch 64).
+type Figure8Result struct {
+	Rows []Figure8Row
+}
+
+// Figure8 profiles every batch size and extracts API shares.
+func Figure8() (*Figure8Result, error) {
+	profiles, err := profileAll()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure8Result{}
+	for _, batch := range Batches {
+		p := profiles[batch]
+		res.Rows = append(res.Rows, Figure8Row{
+			Batch:      batch,
+			LibLoadPct: p.API.Share("cuLibraryLoadData"),
+			SyncPct:    p.API.Share("cudaDeviceSynchronize"),
+			LaunchPct:  p.API.Share("cudaLaunchKernel"),
+			MemcpyPct:  p.API.Share("cudaMemcpyH2D") + p.API.Share("cudaMemcpyD2H"),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the figure's series.
+func (r *Figure8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — CUDA API usage shares (%)\n")
+	fmt.Fprintf(&b, "%6s %20s %24s %18s %14s\n", "batch", "cuLibraryLoadData", "cudaDeviceSynchronize", "cudaLaunchKernel", "cudaMemcpy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %19.1f%% %23.1f%% %17.1f%% %13.1f%%\n",
+			row.Batch, row.LibLoadPct, row.SyncPct, row.LaunchPct, row.MemcpyPct)
+	}
+	return b.String()
+}
+
+// Table3Row is one batch size's kernel-class breakdown.
+type Table3Row struct {
+	Batch      int
+	MatMulPct  float64
+	PoolingPct float64
+	ConvPct    float64
+}
+
+// Table3Result reproduces Table 3: GPU kernel time by class across batch
+// sizes (matmul dominant at batch 1, conv dominant at batch 64).
+type Table3Result struct {
+	Rows  []Table3Row
+	Paper []Table3Row
+}
+
+// paperTable3 holds the published percentages for side-by-side rendering.
+var paperTable3 = []Table3Row{
+	{1, 41.6, 14.1, 7.7},
+	{2, 34.8, 14.4, 9.7},
+	{4, 39.9, 13.5, 9.5},
+	{8, 34.8, 13.7, 10},
+	{16, 18.1, 17.1, 16.6},
+	{32, 15.7, 14.7, 13.4},
+	{64, 7.4, 8.6, 77.2},
+}
+
+// Table3 profiles every batch size and extracts kernel-class shares.
+func Table3() (*Table3Result, error) {
+	profiles, err := profileAll()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{Paper: paperTable3}
+	for _, batch := range Batches {
+		p := profiles[batch]
+		res.Rows = append(res.Rows, Table3Row{
+			Batch:      batch,
+			MatMulPct:  p.Kernels.Share("MatMul"),
+			PoolingPct: p.Kernels.Share("Pooling"),
+			ConvPct:    p.Kernels.Share("Conv"),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the table with the paper's numbers alongside.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — GPU kernel time by class (measured % | paper %)\n")
+	fmt.Fprintf(&b, "%6s %18s %18s %18s\n", "batch", "MatMul", "Pooling", "Conv")
+	for i, row := range r.Rows {
+		p := r.Paper[i]
+		fmt.Fprintf(&b, "%6d %8.1f | %5.1f %10.1f | %5.1f %10.1f | %5.1f\n",
+			row.Batch, row.MatMulPct, p.MatMulPct, row.PoolingPct, p.PoolingPct, row.ConvPct, p.ConvPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drainnet/internal/model"
+)
+
+// Table1Row is one model's accuracy result.
+type Table1Row struct {
+	Model    string
+	Notation string
+	AP       float64
+	PaperAP  float64
+}
+
+// Table1Result reproduces Table 1: AP for the original SPP-Net and the
+// three NAS candidates under the shared training protocol.
+type Table1Result struct {
+	Rows []Table1Row
+	Data DataConfig
+}
+
+// paperTable1 holds the paper's reported numbers for side-by-side output.
+var paperTable1 = map[string]float64{
+	"Original SPP-Net": 0.9500,
+	"SPP-Net #1":       0.9610,
+	"SPP-Net #2":       0.9670,
+	"SPP-Net #3":       0.9740,
+}
+
+// Table1 trains every Table 1 candidate on the shared synthetic dataset
+// and scores test AP.
+func Table1(dc DataConfig) (*Table1Result, error) {
+	trainDS, testDS, err := BuildData(dc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Data: dc}
+	for _, cfg := range model.Candidates() {
+		ap, err := TrainAndScore(cfg, dc, trainDS, testDS)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", cfg.Name, err)
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Model:    cfg.Name,
+			Notation: cfg.Notation(),
+			AP:       ap,
+			PaperAP:  paperTable1[cfg.Name],
+		})
+	}
+	return res, nil
+}
+
+// Best returns the row with the highest AP.
+func (r *Table1Result) Best() Table1Row {
+	best := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.AP > best.AP {
+			best = row
+		}
+	}
+	return best
+}
+
+// Render writes the table in the paper's layout with a measured column.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — AP for SPP-Net candidates (measured vs paper)\n")
+	fmt.Fprintf(&b, "%-18s %-58s %10s %10s\n", "Model", "Hyper-parameters", "AP", "Paper AP")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %-58s %9.2f%% %9.2f%%\n", row.Model, row.Notation, row.AP*100, row.PaperAP*100)
+	}
+	return b.String()
+}

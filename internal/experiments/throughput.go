@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drainnet/internal/gpu"
+	"drainnet/internal/ios"
+	"drainnet/internal/model"
+)
+
+// ThroughputRow is one batching policy's cost for a large inference job.
+type ThroughputRow struct {
+	Batch        int
+	Schedule     string
+	JobTimeMs    float64
+	ImagesPerSec float64
+	SpeedupVsB1  float64
+}
+
+// ThroughputResult quantifies the paper's §5.1 motivation: surveying a
+// watershed means inferring a large volume of clips, so per-image
+// efficiency compounds. It runs an N-image job through SPP-Net #2 under
+// both the sequential baseline at batch 1 (the naive pipeline) and the
+// IOS schedule at each batch size.
+type ThroughputResult struct {
+	Images int
+	Rows   []ThroughputRow
+}
+
+// Throughput simulates a job of the given image count.
+func Throughput(images int) (*ThroughputResult, error) {
+	if images < 64 {
+		return nil, fmt.Errorf("experiments: throughput job needs ≥ 64 images")
+	}
+	dev := Device()
+	g, err := model.SPPNet2().BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	rt := ios.NewRuntime(dev)
+	res := &ThroughputResult{Images: images}
+
+	job := func(sched *ios.Schedule, batch int) float64 {
+		// One warm process for the whole job: library load amortized.
+		sim := gpu.NewSim(dev)
+		sim.LoadLibrary()
+		start := sim.NowNs()
+		full := images / batch
+		for i := 0; i < full; i++ {
+			rt.Run(sim, g, sched, batch)
+		}
+		if rem := images % batch; rem > 0 {
+			rt.Run(sim, g, sched, rem)
+		}
+		return sim.NowNs() - start
+	}
+
+	seqB1 := job(ios.SequentialSchedule(g), 1)
+	res.Rows = append(res.Rows, ThroughputRow{
+		Batch: 1, Schedule: "sequential",
+		JobTimeMs:    seqB1 / 1e6,
+		ImagesPerSec: float64(images) / (seqB1 / 1e9),
+		SpeedupVsB1:  1,
+	})
+	for _, batch := range Batches {
+		sched, err := ios.Optimize(g, ios.NewSimOracle(dev), batch)
+		if err != nil {
+			return nil, err
+		}
+		t := job(sched, batch)
+		res.Rows = append(res.Rows, ThroughputRow{
+			Batch: batch, Schedule: "IOS",
+			JobTimeMs:    t / 1e6,
+			ImagesPerSec: float64(images) / (t / 1e9),
+			SpeedupVsB1:  seqB1 / t,
+		})
+	}
+	return res, nil
+}
+
+// Best returns the fastest row.
+func (r *ThroughputResult) Best() ThroughputRow {
+	best := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.JobTimeMs < best.JobTimeMs {
+			best = row
+		}
+	}
+	return best
+}
+
+// Render writes the job-cost table.
+func (r *ThroughputResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Throughput — %d-image survey job on SPP-Net #2\n", r.Images)
+	fmt.Fprintf(&b, "%6s %12s %14s %14s %10s\n", "batch", "schedule", "job ms", "images/s", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %12s %14.1f %14.0f %9.2fx\n",
+			row.Batch, row.Schedule, row.JobTimeMs, row.ImagesPerSec, row.SpeedupVsB1)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"drainnet/internal/hydro"
+)
+
+// WriteASCIIGrid serializes a DEM in ESRI ASCII grid (.asc) format, which
+// GIS tools (QGIS, ArcGIS, GDAL) open directly. The raster origin is
+// placed at (0, 0) with the grid's cell size.
+func WriteASCIIGrid(w io.Writer, g *hydro.Grid) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ncols %d\n", g.Cols)
+	fmt.Fprintf(bw, "nrows %d\n", g.Rows)
+	fmt.Fprintf(bw, "xllcorner 0\n")
+	fmt.Fprintf(bw, "yllcorner 0\n")
+	fmt.Fprintf(bw, "cellsize %g\n", g.CellSize)
+	fmt.Fprintf(bw, "NODATA_value -9999\n")
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if c > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.FormatFloat(g.At(r, c), 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadASCIIGrid parses an ESRI ASCII grid.
+func ReadASCIIGrid(r io.Reader) (*hydro.Grid, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	header := map[string]float64{}
+	var rows, cols int
+	cell := 1.0
+	// Header: up to 6 "key value" lines.
+	var dataLines []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && !isNumeric(fields[0]) {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("export: bad header line %q", line)
+			}
+			header[strings.ToLower(fields[0])] = v
+			continue
+		}
+		dataLines = append(dataLines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if v, ok := header["ncols"]; ok {
+		cols = int(v)
+	}
+	if v, ok := header["nrows"]; ok {
+		rows = int(v)
+	}
+	if v, ok := header["cellsize"]; ok {
+		cell = v
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("export: missing or invalid ncols/nrows header")
+	}
+	if len(dataLines) != rows {
+		return nil, fmt.Errorf("export: %d data rows, header says %d", len(dataLines), rows)
+	}
+	g := hydro.NewGrid(rows, cols, cell)
+	for r, line := range dataLines {
+		fields := strings.Fields(line)
+		if len(fields) != cols {
+			return nil, fmt.Errorf("export: row %d has %d values, want %d", r, len(fields), cols)
+		}
+		for c, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("export: row %d col %d: %v", r, c, err)
+			}
+			g.Set(r, c, v)
+		}
+	}
+	return g, nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

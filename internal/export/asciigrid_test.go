@@ -1,0 +1,78 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drainnet/internal/hydro"
+)
+
+func TestASCIIGridRoundTrip(t *testing.T) {
+	g := hydro.NewGrid(3, 4, 2.5)
+	for i := range g.Data {
+		g.Data[i] = float64(i) * 1.25
+	}
+	var buf bytes.Buffer
+	if err := WriteASCIIGrid(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadASCIIGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != 3 || back.Cols != 4 || back.CellSize != 2.5 {
+		t.Fatalf("structure changed: %dx%d cell %v", back.Rows, back.Cols, back.CellSize)
+	}
+	for i := range g.Data {
+		if back.Data[i] != g.Data[i] {
+			t.Fatalf("value %d changed: %v vs %v", i, back.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestASCIIGridHeaderFormat(t *testing.T) {
+	g := hydro.NewGrid(2, 2, 1)
+	var buf bytes.Buffer
+	if err := WriteASCIIGrid(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ncols 2", "nrows 2", "cellsize 1", "NODATA_value -9999"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("header missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadASCIIGridErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":     "1 2\n3 4\n",
+		"bad rows":      "ncols 2\nnrows 3\ncellsize 1\n1 2\n3 4\n",
+		"ragged row":    "ncols 2\nnrows 2\ncellsize 1\n1 2\n3\n",
+		"garbage value": "ncols 2\nnrows 1\ncellsize 1\n1 x\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadASCIIGrid(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestASCIIGridWatershedDEM(t *testing.T) {
+	w := testWatershed(t)
+	var buf bytes.Buffer
+	if err := WriteASCIIGrid(&buf, w.DEM); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadASCIIGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hydrology must survive the round trip: same connectivity score.
+	a := hydro.ConnectivityScore(w.DEM, 60)
+	b := hydro.ConnectivityScore(back, 60)
+	if a != b {
+		t.Fatalf("connectivity changed across round trip: %v vs %v", a, b)
+	}
+}

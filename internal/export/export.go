@@ -1,0 +1,145 @@
+// Package export renders drainnet data products as PNG images: true-color
+// and color-infrared composites of the 4-band orthophoto, DEM hillshade,
+// and detection overlays. It exists so a release of this library produces
+// inspectable artifacts, the way the paper's figures show the study area.
+package export
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+
+	"drainnet/internal/hydro"
+	"drainnet/internal/tensor"
+	"drainnet/internal/terrain"
+)
+
+func clamp255(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// TrueColor renders bands (R,G,B) of a 4-band C×H×W image.
+func TrueColor(img *tensor.Tensor) *image.RGBA {
+	return composite(img, terrain.BandR, terrain.BandG, terrain.BandB)
+}
+
+// ColorInfrared renders the NAIP-style CIR composite (NIR,R,G): living
+// vegetation glows red, water goes black.
+func ColorInfrared(img *tensor.Tensor) *image.RGBA {
+	return composite(img, terrain.BandNIR, terrain.BandR, terrain.BandG)
+}
+
+func composite(img *tensor.Tensor, br, bg, bb int) *image.RGBA {
+	h, w := img.Dim(1), img.Dim(2)
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			out.SetRGBA(c, r, color.RGBA{
+				R: clamp255(float64(img.At(br, r, c)) * 255),
+				G: clamp255(float64(img.At(bg, r, c)) * 255),
+				B: clamp255(float64(img.At(bb, r, c)) * 255),
+				A: 255,
+			})
+		}
+	}
+	return out
+}
+
+// Hillshade renders a DEM with standard illumination (azimuth 315°,
+// altitude 45°).
+func Hillshade(dem *hydro.Grid) *image.RGBA {
+	const azimuth = 315 * math.Pi / 180
+	const altitude = 45 * math.Pi / 180
+	out := image.NewRGBA(image.Rect(0, 0, dem.Cols, dem.Rows))
+	zenith := math.Pi/2 - altitude
+	for r := 0; r < dem.Rows; r++ {
+		for c := 0; c < dem.Cols; c++ {
+			// Central-difference gradients (clamped at edges).
+			r0, r1 := maxInt(r-1, 0), minInt(r+1, dem.Rows-1)
+			c0, c1 := maxInt(c-1, 0), minInt(c+1, dem.Cols-1)
+			dzdx := (dem.At(r, c1) - dem.At(r, c0)) / (2 * dem.CellSize)
+			dzdy := (dem.At(r1, c) - dem.At(r0, c)) / (2 * dem.CellSize)
+			slope := math.Atan(math.Hypot(dzdx, dzdy))
+			aspect := math.Atan2(dzdy, -dzdx)
+			shade := math.Cos(zenith)*math.Cos(slope) +
+				math.Sin(zenith)*math.Sin(slope)*math.Cos(azimuth-aspect)
+			v := clamp255((shade*0.5 + 0.5) * 255)
+			out.SetRGBA(c, r, color.RGBA{R: v, G: v, B: v, A: 255})
+		}
+	}
+	return out
+}
+
+// Overlay draws crossing markers (side×side hollow squares) on a copy of
+// base. True crossings in green, detections in red — coincident markers
+// show as overlapping squares.
+func Overlay(base *image.RGBA, truth, detected []hydro.Point, side int) *image.RGBA {
+	out := image.NewRGBA(base.Bounds())
+	copy(out.Pix, base.Pix)
+	for _, p := range truth {
+		drawBox(out, p, side, color.RGBA{R: 40, G: 220, B: 60, A: 255})
+	}
+	for _, p := range detected {
+		drawBox(out, p, side, color.RGBA{R: 230, G: 40, B: 40, A: 255})
+	}
+	return out
+}
+
+func drawBox(img *image.RGBA, p hydro.Point, side int, col color.RGBA) {
+	b := img.Bounds()
+	half := side / 2
+	for d := -half; d <= half; d++ {
+		set(img, b, p.C+d, p.R-half, col)
+		set(img, b, p.C+d, p.R+half, col)
+		set(img, b, p.C-half, p.R+d, col)
+		set(img, b, p.C+half, p.R+d, col)
+	}
+}
+
+func set(img *image.RGBA, b image.Rectangle, x, y int, col color.RGBA) {
+	if x >= b.Min.X && x < b.Max.X && y >= b.Min.Y && y < b.Max.Y {
+		img.SetRGBA(x, y, col)
+	}
+}
+
+// WritePNG encodes img to w.
+func WritePNG(w io.Writer, img image.Image) error {
+	return png.Encode(w, img)
+}
+
+// SavePNG writes img to path.
+func SavePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		return fmt.Errorf("export: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

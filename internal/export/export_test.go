@@ -1,0 +1,130 @@
+package export
+
+import (
+	"bytes"
+	"image/png"
+	"path/filepath"
+	"testing"
+
+	"drainnet/internal/hydro"
+	"drainnet/internal/terrain"
+)
+
+func testWatershed(t *testing.T) *terrain.Watershed {
+	t.Helper()
+	cfg := terrain.DefaultConfig()
+	cfg.Rows, cfg.Cols = 128, 128
+	cfg.RoadSpacing = 64
+	cfg.StreamThreshold = 60
+	w, err := terrain.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestTrueColorDimensions(t *testing.T) {
+	w := testWatershed(t)
+	img := terrain.Render(w)
+	rgba := TrueColor(img)
+	if rgba.Bounds().Dx() != 128 || rgba.Bounds().Dy() != 128 {
+		t.Fatalf("bounds %v", rgba.Bounds())
+	}
+}
+
+func TestColorInfraredVegetationRed(t *testing.T) {
+	w := testWatershed(t)
+	img := terrain.Render(w)
+	cir := ColorInfrared(img)
+	// Find a riparian cell (high NIR): its CIR red channel must be high.
+	for r := 0; r < 128; r++ {
+		for c := 0; c < 128; c++ {
+			if img.At(terrain.BandNIR, r, c) > 0.8 {
+				px := cir.RGBAAt(c, r)
+				if px.R < 180 {
+					t.Fatalf("riparian pixel CIR red = %d, want bright", px.R)
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no high-NIR cell found")
+}
+
+func TestHillshadeRange(t *testing.T) {
+	w := testWatershed(t)
+	hs := Hillshade(w.DEM)
+	// Hillshade must produce a grayscale image with real contrast.
+	lo, hi := uint8(255), uint8(0)
+	for r := 0; r < 128; r++ {
+		for c := 0; c < 128; c++ {
+			px := hs.RGBAAt(c, r)
+			if px.R != px.G || px.G != px.B {
+				t.Fatal("hillshade must be grayscale")
+			}
+			if px.R < lo {
+				lo = px.R
+			}
+			if px.R > hi {
+				hi = px.R
+			}
+		}
+	}
+	if hi-lo < 30 {
+		t.Fatalf("hillshade has no relief contrast: [%d, %d]", lo, hi)
+	}
+}
+
+func TestOverlayDrawsMarkers(t *testing.T) {
+	w := testWatershed(t)
+	base := TrueColor(terrain.Render(w))
+	truth := []hydro.Point{{R: 64, C: 64}}
+	det := []hydro.Point{{R: 30, C: 30}}
+	out := Overlay(base, truth, det, 10)
+	// Marker edges must be the marker colors.
+	if px := out.RGBAAt(64-5, 64); px.G < 200 || px.R > 100 {
+		t.Fatalf("truth marker missing: %+v", px)
+	}
+	if px := out.RGBAAt(30-5, 30); px.R < 200 || px.G > 100 {
+		t.Fatalf("detection marker missing: %+v", px)
+	}
+	// The base must be unmodified.
+	if base.RGBAAt(64-5, 64) == out.RGBAAt(64-5, 64) {
+		t.Fatal("overlay must draw on a copy")
+	}
+}
+
+func TestOverlayClipsAtEdges(t *testing.T) {
+	w := testWatershed(t)
+	base := TrueColor(terrain.Render(w))
+	// Must not panic for markers at/over the border.
+	Overlay(base, []hydro.Point{{R: 0, C: 0}, {R: 127, C: 127}, {R: -5, C: 200}}, nil, 12)
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	w := testWatershed(t)
+	img := TrueColor(terrain.Render(w))
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds() != img.Bounds() {
+		t.Fatal("round trip changed bounds")
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	w := testWatershed(t)
+	img := Hillshade(w.BaseDEM)
+	path := filepath.Join(t.TempDir(), "hillshade.png")
+	if err := SavePNG(path, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePNG(filepath.Join(t.TempDir(), "missing-dir", "x.png"), img); err == nil {
+		t.Fatal("expected error for bad path")
+	}
+}

@@ -1,0 +1,182 @@
+// Package gpu implements a discrete-event simulator of a CUDA GPU,
+// calibrated to the NVIDIA RTX A5500 used in the paper. It prices single
+// kernels with an occupancy-limited roofline model, executes stages of
+// concurrent kernel groups under processor sharing (the stream semantics
+// IOS relies on), models the CPU-launch/GPU-execute asynchrony that makes
+// cudaDeviceSynchronize time grow with batch size, and keeps an event
+// ledger that internal/profiler consumes to regenerate the paper's
+// profiling figures.
+//
+// The simulator substitutes for real CUDA hardware (see DESIGN.md §2):
+// absolute times are calibrated, but the latency *shapes* — which model
+// wins, where batching saturates, which kernel class dominates — emerge
+// from arithmetic intensity, parallelism limits, and pipeline asynchrony
+// that the model represents explicitly.
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"drainnet/internal/graph"
+)
+
+// DeviceConfig describes the simulated GPU and its cost-model constants.
+type DeviceConfig struct {
+	Name       string
+	SMCount    int     // streaming multiprocessors
+	CoresPerSM int     // CUDA cores per SM
+	ClockGHz   float64 // boost clock
+	MemoryGB   float64 // device memory capacity
+
+	MemBandwidthGBps  float64 // device memory bandwidth
+	PCIeGBps          float64 // effective host↔device bandwidth (pageable)
+	ThreadsPerBlock   int     // modeled CTA size
+	KernelLaunchCPUNs float64 // CPU time per cudaLaunchKernel call
+	MemcpyOverheadNs  float64 // fixed cost per cudaMemcpy operation
+	SyncBaseNs        float64 // fixed cost of cudaDeviceSynchronize
+	LibraryLoadNs     float64 // one-time cuLibraryLoadData cost
+
+	// Compute efficiency (fraction of peak FMA throughput) per kernel
+	// class, capturing how well each kernel family uses the ALUs.
+	EffConv   float64
+	EffMatMul float64
+	EffPool   float64
+	EffOther  float64
+	// CoalesceExp models how achievable memory bandwidth scales with
+	// occupancy f: BW_eff = BW · f^(CoalesceExp-1) on top of the linear
+	// occupancy term. Values >1 penalize low-occupancy kernels (GEMV-style
+	// FC layers at batch 1), which is what makes matmul dominate the
+	// batch-1 timeline as in the paper's Table 3.
+	CoalesceExp float64
+}
+
+// RTXA5500 returns the simulated configuration of the paper's GPU
+// (10240 CUDA cores, 24 GB). Datasheet-derived constants: 80 SMs × 128
+// cores at 1.665 GHz, 768 GB/s GDDR6. The remaining constants are
+// calibration: see EXPERIMENTS.md.
+func RTXA5500() DeviceConfig {
+	return DeviceConfig{
+		Name:              "NVIDIA RTX A5500 (simulated)",
+		SMCount:           80,
+		CoresPerSM:        128,
+		ClockGHz:          1.665,
+		MemoryGB:          24,
+		MemBandwidthGBps:  768,
+		PCIeGBps:          8.4,
+		ThreadsPerBlock:   64,
+		KernelLaunchCPUNs: 7800,
+		MemcpyOverheadNs:  7600,
+		SyncBaseNs:        1200,
+		LibraryLoadNs:     1760000,
+		EffConv:           0.62,
+		EffMatMul:         0.60,
+		EffPool:           0.18,
+		EffOther:          0.10,
+		CoalesceExp:       1.25,
+	}
+}
+
+// PeakFLOPS returns the device's peak FMA throughput in FLOP/s.
+func (d DeviceConfig) PeakFLOPS() float64 {
+	return float64(d.SMCount) * float64(d.CoresPerSM) * d.ClockGHz * 1e9 * 2
+}
+
+func (d DeviceConfig) efficiency(k graph.OpKind) float64 {
+	switch k {
+	case graph.OpConv:
+		return d.EffConv
+	case graph.OpMatMul:
+		return d.EffMatMul
+	case graph.OpPool, graph.OpAdaptivePool:
+		return d.EffPool
+	default:
+		return d.EffOther
+	}
+}
+
+// KernelCost describes the simulator's pricing of one kernel launch.
+type KernelCost struct {
+	// Occupancy is the fraction of the device the kernel can use alone
+	// (thread-level-parallelism limited), in (0, 1].
+	Occupancy float64
+	// WorkNs is the kernel's work expressed in full-device nanoseconds:
+	// running alone it takes WorkNs/Occupancy.
+	WorkNs float64
+	// SoloNs is the kernel's duration when it is the only kernel resident.
+	SoloNs float64
+	// MemBound reports whether the memory term dominated the compute term.
+	MemBound bool
+}
+
+// Cost prices node at the given batch size.
+func (d DeviceConfig) Cost(n *graph.Node, batch int) KernelCost {
+	if n.Kind == graph.OpInput {
+		return KernelCost{Occupancy: 1}
+	}
+	threads := n.ThreadsPerSample * int64(batch)
+	blocks := (threads + int64(d.ThreadsPerBlock) - 1) / int64(d.ThreadsPerBlock)
+	if blocks < 1 {
+		blocks = 1
+	}
+	f := float64(blocks) / float64(d.SMCount)
+	if f > 1 {
+		f = 1
+	}
+	flops := float64(n.FLOPsPerSample) * float64(batch)
+	computeNs := flops / (d.PeakFLOPS() * d.efficiency(n.Kind)) * 1e9
+	bytes := float64(n.WeightBytes) + float64(n.BytesInPerSample()+n.BytesOutPerSample())*float64(batch)
+	// Memory work in full-device ns, with the coalescing penalty applied so
+	// that solo duration is bytes / (BW · f^CoalesceExp).
+	memNs := bytes / (d.MemBandwidthGBps * math.Pow(f, d.CoalesceExp-1)) // GB/s == bytes/ns
+	work := computeNs
+	memBound := false
+	if memNs > work {
+		work = memNs
+		memBound = true
+	}
+	return KernelCost{
+		Occupancy: f,
+		WorkNs:    work,
+		SoloNs:    work / f,
+		MemBound:  memBound,
+	}
+}
+
+// MemoryUsageBytes estimates device memory needed to run g at the given
+// batch: weights plus all activation buffers plus an im2col-style
+// workspace for the largest convolution.
+func (d DeviceConfig) MemoryUsageBytes(g *graph.Graph, batch int) int64 {
+	weights := g.TotalWeightBytes()
+	acts := g.ActivationBytesPerSample() * int64(batch)
+	var workspace int64
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpConv {
+			ws := n.BytesInPerSample() * 9 * int64(batch) // 3×3 im2col expansion
+			if ws > workspace {
+				workspace = ws
+			}
+		}
+	}
+	return weights + acts + workspace
+}
+
+// MemoryCapacityBytes returns the device memory capacity.
+func (d DeviceConfig) MemoryCapacityBytes() int64 {
+	return int64(d.MemoryGB * 1e9)
+}
+
+// Validate checks that the configuration is physically meaningful.
+func (d DeviceConfig) Validate() error {
+	if d.SMCount <= 0 || d.CoresPerSM <= 0 || d.ClockGHz <= 0 ||
+		d.MemBandwidthGBps <= 0 || d.PCIeGBps <= 0 || d.ThreadsPerBlock <= 0 {
+		return fmt.Errorf("gpu: invalid device config %+v", d)
+	}
+	if d.EffConv <= 0 || d.EffMatMul <= 0 || d.EffPool <= 0 || d.EffOther <= 0 {
+		return fmt.Errorf("gpu: kernel efficiencies must be positive")
+	}
+	if d.CoalesceExp < 1 {
+		return fmt.Errorf("gpu: CoalesceExp must be ≥ 1")
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"drainnet/internal/graph"
+)
+
+// EventKind classifies ledger events, mirroring what Nsight Systems
+// records on a real run.
+type EventKind int
+
+const (
+	// EvLibraryLoad is the one-time cuLibraryLoadData call.
+	EvLibraryLoad EventKind = iota
+	// EvLaunch is a cudaLaunchKernel API call (CPU side).
+	EvLaunch
+	// EvKernel is a kernel execution on the GPU timeline.
+	EvKernel
+	// EvMemcpyH2D is a host-to-device copy.
+	EvMemcpyH2D
+	// EvMemcpyD2H is a device-to-host copy.
+	EvMemcpyD2H
+	// EvSync is a cudaDeviceSynchronize API call, including its wait time.
+	EvSync
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvLibraryLoad:
+		return "cuLibraryLoadData"
+	case EvLaunch:
+		return "cudaLaunchKernel"
+	case EvKernel:
+		return "kernel"
+	case EvMemcpyH2D:
+		return "cudaMemcpyH2D"
+	case EvMemcpyD2H:
+		return "cudaMemcpyD2H"
+	case EvSync:
+		return "cudaDeviceSynchronize"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// IsAPI reports whether the event occupies the CPU-side API timeline (as
+// opposed to the GPU execution timeline).
+func (k EventKind) IsAPI() bool {
+	switch k {
+	case EvLibraryLoad, EvLaunch, EvMemcpyH2D, EvMemcpyD2H, EvSync:
+		return true
+	}
+	return false
+}
+
+// Event is one ledger entry.
+type Event struct {
+	Kind    EventKind
+	Name    string // kernel or op name
+	Class   string // kernel class for EvKernel ("Conv", "Pooling", "MatMul", "Other")
+	Stream  int
+	StartNs float64
+	DurNs   float64
+	Bytes   int64
+}
+
+// EndNs returns the event end time.
+func (e Event) EndNs() float64 { return e.StartNs + e.DurNs }
+
+// Sim is a simulated process driving the device: it owns a CPU timeline
+// (API calls) and a GPU timeline (kernels, copies), and records every
+// operation in an event ledger.
+type Sim struct {
+	Dev DeviceConfig
+
+	cpuNs     float64 // CPU timeline cursor
+	gpuFreeNs float64 // time at which the GPU finishes all queued work
+	events    []Event
+	libLoaded bool
+}
+
+// NewSim creates a simulator for the given device.
+func NewSim(dev DeviceConfig) *Sim {
+	if err := dev.Validate(); err != nil {
+		panic(err)
+	}
+	return &Sim{Dev: dev}
+}
+
+// Reset clears both timelines and the ledger (a fresh process).
+func (s *Sim) Reset() {
+	s.cpuNs, s.gpuFreeNs = 0, 0
+	s.events = nil
+	s.libLoaded = false
+}
+
+// Events returns the recorded ledger.
+func (s *Sim) Events() []Event { return s.events }
+
+// NowNs returns the CPU timeline cursor.
+func (s *Sim) NowNs() float64 { return s.cpuNs }
+
+// LoadLibrary models the first CUDA call triggering cuLibraryLoadData
+// (module/JIT load). Subsequent calls are free, as in a warm process.
+func (s *Sim) LoadLibrary() {
+	if s.libLoaded {
+		return
+	}
+	s.libLoaded = true
+	s.events = append(s.events, Event{Kind: EvLibraryLoad, Name: "cuLibraryLoadData", StartNs: s.cpuNs, DurNs: s.Dev.LibraryLoadNs})
+	s.cpuNs += s.Dev.LibraryLoadNs
+}
+
+// MemcpyH2D models a blocking host-to-device copy of the given bytes.
+func (s *Sim) MemcpyH2D(name string, bytes int64) {
+	s.memcpy(EvMemcpyH2D, name, bytes)
+}
+
+// MemcpyD2H models a blocking device-to-host copy of the given bytes.
+func (s *Sim) MemcpyD2H(name string, bytes int64) {
+	s.memcpy(EvMemcpyD2H, name, bytes)
+}
+
+func (s *Sim) memcpy(kind EventKind, name string, bytes int64) {
+	s.LoadLibrary()
+	// A blocking memcpy waits for prior GPU work, then transfers.
+	start := s.cpuNs
+	if s.gpuFreeNs > start {
+		start = s.gpuFreeNs
+	}
+	dur := s.Dev.MemcpyOverheadNs + float64(bytes)/s.Dev.PCIeGBps // GB/s == bytes/ns
+	s.events = append(s.events, Event{Kind: kind, Name: name, StartNs: start, DurNs: dur, Bytes: bytes})
+	s.cpuNs = start + dur
+	if s.gpuFreeNs < s.cpuNs {
+		s.gpuFreeNs = s.cpuNs
+	}
+}
+
+// kernelExec is internal DES state for one kernel in a stage.
+type kernelExec struct {
+	node     *graph.Node
+	stream   int
+	gateNs   float64 // earliest start: launch issued and stream predecessor done
+	pred     *kernelExec
+	barrier  []*kernelExec // all must finish before this kernel may start
+	cost     KernelCost
+	remain   float64 // remaining work in full-device ns
+	started  bool
+	startNs  float64
+	finishNs float64
+}
+
+// RunStage executes one schedule stage: groups of kernels, one stream per
+// group, kernels within a group serialized, groups sharing the device
+// concurrently. It ends with a cudaDeviceSynchronize. Returns the GPU-side
+// duration of the stage (first kernel start to last kernel finish).
+func (s *Sim) RunStage(groups [][]*graph.Node, batch int) float64 {
+	return s.RunStageOpts(groups, batch, StageOpts{})
+}
+
+// StageOpts tunes per-stage execution semantics.
+type StageOpts struct {
+	// DispatchNs is extra CPU time per kernel before its launch call,
+	// modeling framework-eager dispatch overhead (Python bookkeeping,
+	// per-op type checks). A static IOS runtime uses 0.
+	DispatchNs float64
+}
+
+// RunStageOpts is RunStage with explicit options.
+func (s *Sim) RunStageOpts(groups [][]*graph.Node, batch int, opts StageOpts) float64 {
+	s.LoadLibrary()
+	var kernels []*kernelExec
+	stageGPUStart := s.gpuFreeNs
+
+	// CPU issues launches group-major (stream 0 fully, then stream 1, ...),
+	// which is how a runtime walks a static schedule.
+	prevInStream := map[int]*kernelExec{}
+	for gi, group := range groups {
+		for _, node := range group {
+			if node.Kind == graph.OpInput {
+				continue
+			}
+			s.cpuNs += opts.DispatchNs // framework-eager dispatch, if any
+			launchStart := s.cpuNs
+			s.events = append(s.events, Event{Kind: EvLaunch, Name: node.Name, Stream: gi, StartNs: launchStart, DurNs: s.Dev.KernelLaunchCPUNs})
+			s.cpuNs += s.Dev.KernelLaunchCPUNs
+			k := &kernelExec{node: node, stream: gi, cost: s.Dev.Cost(node, batch)}
+			k.remain = k.cost.WorkNs
+			k.gateNs = s.cpuNs // kernel cannot start before its launch call returns
+			if k.gateNs < stageGPUStart {
+				k.gateNs = stageGPUStart
+			}
+			if prev := prevInStream[gi]; prev != nil {
+				k.prevDep(prev)
+			}
+			prevInStream[gi] = k
+			kernels = append(kernels, k)
+		}
+	}
+
+	gpuEnd := s.desRun(kernels)
+	if gpuEnd < stageGPUStart {
+		gpuEnd = stageGPUStart
+	}
+	s.gpuFreeNs = gpuEnd
+
+	// cudaDeviceSynchronize: CPU waits for the GPU to drain.
+	wait := gpuEnd - s.cpuNs
+	if wait < 0 {
+		wait = 0
+	}
+	dur := wait + s.Dev.SyncBaseNs
+	s.events = append(s.events, Event{Kind: EvSync, Name: "stage_sync", StartNs: s.cpuNs, DurNs: dur})
+	s.cpuNs += dur
+
+	var stageStart float64 = -1
+	for _, k := range kernels {
+		if stageStart < 0 || k.startNs < stageStart {
+			stageStart = k.startNs
+		}
+	}
+	if stageStart < 0 {
+		return 0
+	}
+	return gpuEnd - stageStart
+}
+
+// prevDep links k behind prev in the same stream: the gate is resolved
+// lazily during the DES because prev's finish time is not yet known.
+func (k *kernelExec) prevDep(prev *kernelExec) {
+	k.pred = prev
+}
+
+// desRun advances the processor-sharing discrete-event simulation until
+// every kernel completes, recording kernel events. Returns the finish time
+// of the last kernel.
+func (s *Sim) desRun(kernels []*kernelExec) float64 {
+	if len(kernels) == 0 {
+		return s.gpuFreeNs
+	}
+	// Start the clock at the earliest gate.
+	t := kernels[0].effectiveGate()
+	for _, k := range kernels {
+		if g := k.effectiveGate(); g < t {
+			t = g
+		}
+	}
+	done := 0
+	var end float64
+	for done < len(kernels) {
+		// Partition into active and pending.
+		var active []*kernelExec
+		nextGate := -1.0
+		for _, k := range kernels {
+			if k.finished() {
+				continue
+			}
+			g := k.effectiveGate()
+			if g <= t+1e-9 {
+				if !k.started {
+					k.started = true
+					k.startNs = t
+				}
+				active = append(active, k)
+			} else if nextGate < 0 || g < nextGate {
+				nextGate = g
+			}
+		}
+		if len(active) == 0 {
+			if nextGate < 0 {
+				break // should not happen: pending kernels with unresolved gates
+			}
+			t = nextGate
+			continue
+		}
+		// Processor sharing: demand-proportional allocation capped at each
+		// kernel's own occupancy.
+		var demand float64
+		for _, k := range active {
+			demand += k.cost.Occupancy
+		}
+		scale := 1.0
+		if demand > 1 {
+			scale = 1 / demand
+		}
+		// Earliest completion among active at current rates.
+		dt := -1.0
+		for _, k := range active {
+			rate := k.cost.Occupancy * scale
+			need := k.remain / rate
+			if dt < 0 || need < dt {
+				dt = need
+			}
+		}
+		if nextGate >= 0 && nextGate-t < dt {
+			dt = nextGate - t
+		}
+		for _, k := range active {
+			rate := k.cost.Occupancy * scale
+			k.remain -= rate * dt
+			if k.remain <= 1e-9 {
+				k.remain = 0
+				k.finishNs = t + dt
+				done++
+				if k.finishNs > end {
+					end = k.finishNs
+				}
+				s.events = append(s.events, Event{
+					Kind: EvKernel, Name: k.node.Name, Class: k.node.Kind.KernelClass(),
+					Stream: k.stream, StartNs: k.startNs, DurNs: k.finishNs - k.startNs,
+				})
+			}
+		}
+		t += dt
+	}
+	// Keep the ledger sorted by start time for readable traces.
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].StartNs < s.events[j].StartNs })
+	return end
+}
+
+func (k *kernelExec) finished() bool { return k.started && k.remain == 0 }
+
+// effectiveGate returns the earliest time the kernel may start: its launch
+// gate, its stream predecessor's finish, and any barrier dependencies
+// (GPU-side stage synchronization).
+func (k *kernelExec) effectiveGate() float64 {
+	g := k.gateNs
+	if k.pred != nil {
+		if !k.pred.finished() {
+			// Predecessor not finished yet: unreachable gate for now.
+			return 1e30
+		}
+		if k.pred.finishNs > g {
+			g = k.pred.finishNs
+		}
+	}
+	for _, dep := range k.barrier {
+		if !dep.finished() {
+			return 1e30
+		}
+		if dep.finishNs > g {
+			g = dep.finishNs
+		}
+	}
+	return g
+}
+
+// RunPlan executes a whole multi-stage schedule the way the IOS runtime
+// does on real hardware: the CPU enqueues every kernel of every stage in
+// order, stage boundaries are enforced on the GPU (event barriers — a
+// stage's kernels wait for all kernels of the previous stage), and the
+// host synchronizes once at the end. This pipelines launch overhead under
+// GPU execution instead of stalling the CPU at every stage.
+// Returns the GPU-side duration (first kernel start to last finish).
+func (s *Sim) RunPlan(stages [][][]*graph.Node, batch int, opts StageOpts) float64 {
+	s.LoadLibrary()
+	var kernels []*kernelExec
+	stageGPUStart := s.gpuFreeNs
+	var prevStage []*kernelExec
+
+	for _, groups := range stages {
+		var thisStage []*kernelExec
+		prevInStream := map[int]*kernelExec{}
+		for gi, group := range groups {
+			for _, node := range group {
+				if node.Kind == graph.OpInput {
+					continue
+				}
+				s.cpuNs += opts.DispatchNs
+				launchStart := s.cpuNs
+				s.events = append(s.events, Event{Kind: EvLaunch, Name: node.Name, Stream: gi, StartNs: launchStart, DurNs: s.Dev.KernelLaunchCPUNs})
+				s.cpuNs += s.Dev.KernelLaunchCPUNs
+				k := &kernelExec{node: node, stream: gi, cost: s.Dev.Cost(node, batch)}
+				k.remain = k.cost.WorkNs
+				k.gateNs = s.cpuNs
+				if k.gateNs < stageGPUStart {
+					k.gateNs = stageGPUStart
+				}
+				if prev := prevInStream[gi]; prev != nil {
+					k.pred = prev
+				}
+				k.barrier = prevStage
+				prevInStream[gi] = k
+				kernels = append(kernels, k)
+				thisStage = append(thisStage, k)
+			}
+		}
+		if len(thisStage) > 0 {
+			prevStage = thisStage
+		}
+	}
+
+	gpuEnd := s.desRun(kernels)
+	if gpuEnd < stageGPUStart {
+		gpuEnd = stageGPUStart
+	}
+	s.gpuFreeNs = gpuEnd
+
+	// Single host synchronization at the end of the plan.
+	wait := gpuEnd - s.cpuNs
+	if wait < 0 {
+		wait = 0
+	}
+	dur := wait + s.Dev.SyncBaseNs
+	s.events = append(s.events, Event{Kind: EvSync, Name: "plan_sync", StartNs: s.cpuNs, DurNs: dur})
+	s.cpuNs += dur
+
+	var planStart float64 = -1
+	for _, k := range kernels {
+		if planStart < 0 || k.startNs < planStart {
+			planStart = k.startNs
+		}
+	}
+	if planStart < 0 {
+		return 0
+	}
+	return gpuEnd - planStart
+}

@@ -1,0 +1,355 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"drainnet/internal/graph"
+)
+
+func a5500Graph() *graph.Graph {
+	g := graph.NewGraph("sppnet2", 4, 100, 100)
+	x := g.Conv(g.In, "conv1", 64, 3, 1)
+	x = g.Pool(x, "pool1", 2, 2)
+	x = g.Conv(x, "conv2", 128, 3, 1)
+	x = g.Pool(x, "pool2", 2, 2)
+	x = g.Conv(x, "conv3", 256, 3, 1)
+	x = g.Pool(x, "pool3", 2, 2)
+	a := g.AdaptivePool(x, "spp5", 5)
+	b := g.AdaptivePool(x, "spp2", 2)
+	c := g.AdaptivePool(x, "spp1", 1)
+	cat := g.Concat([]*graph.Node{a, b, c}, "concat")
+	h := g.FC(cat, "fc1", 4096)
+	g.FC(h, "head", 5)
+	return g
+}
+
+func TestDeviceValidate(t *testing.T) {
+	dev := RTXA5500()
+	if err := dev.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := dev
+	bad.SMCount = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero SMs")
+	}
+	bad2 := dev
+	bad2.CoalesceExp = 0.5
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected error for CoalesceExp < 1")
+	}
+}
+
+func TestPeakFLOPSMatchesDatasheet(t *testing.T) {
+	dev := RTXA5500()
+	// 10240 cores × 1.665 GHz × 2 ≈ 34.1 TFLOPS
+	got := dev.PeakFLOPS() / 1e12
+	if math.Abs(got-34.1) > 0.2 {
+		t.Fatalf("peak = %.2f TFLOPS, want ≈34.1", got)
+	}
+}
+
+func TestKernelCostOccupancy(t *testing.T) {
+	dev := RTXA5500()
+	g := a5500Graph()
+	var fc1, conv1 *graph.Node
+	for _, n := range g.Nodes {
+		switch n.Name {
+		case "fc1":
+			fc1 = n
+		case "conv1":
+			conv1 = n
+		}
+	}
+	// Batch-1 FC has only 4096 threads: far below device capacity.
+	cf := dev.Cost(fc1, 1)
+	if cf.Occupancy >= 1 {
+		t.Fatalf("batch-1 FC occupancy = %v, want < 1", cf.Occupancy)
+	}
+	if !cf.MemBound {
+		t.Fatal("batch-1 FC should be memory-bound (GEMV reads all weights)")
+	}
+	// Batch-1 conv1 has 640k threads: saturates the device.
+	cc := dev.Cost(conv1, 1)
+	if cc.Occupancy != 1 {
+		t.Fatalf("conv1 occupancy = %v, want 1", cc.Occupancy)
+	}
+}
+
+func TestKernelCostScalesWithBatch(t *testing.T) {
+	dev := RTXA5500()
+	g := a5500Graph()
+	conv := g.Nodes[5] // conv3
+	if conv.Name != "conv3" {
+		t.Fatalf("unexpected node order: %s", conv.Name)
+	}
+	c1 := dev.Cost(conv, 1)
+	c64 := dev.Cost(conv, 64)
+	if c64.WorkNs <= c1.WorkNs {
+		t.Fatal("batch-64 conv must do more work than batch-1")
+	}
+	// Per-sample work must not increase with batch (amortization).
+	if c64.SoloNs/64 > c1.SoloNs+1 {
+		t.Fatalf("per-sample latency grew with batch: %v vs %v", c64.SoloNs/64, c1.SoloNs)
+	}
+}
+
+func TestFCEfficiencyImprovesWithBatch(t *testing.T) {
+	// The weight-reading GEMV at batch 1 amortizes at batch 64: per-sample
+	// solo time must fall dramatically.
+	dev := RTXA5500()
+	g := a5500Graph()
+	var fc1 *graph.Node
+	for _, n := range g.Nodes {
+		if n.Name == "fc1" {
+			fc1 = n
+		}
+	}
+	s1 := dev.Cost(fc1, 1).SoloNs
+	s64 := dev.Cost(fc1, 64).SoloNs / 64
+	if s64 > s1/8 {
+		t.Fatalf("FC per-sample time: batch1=%v batch64=%v, want ≥8x amortization", s1, s64)
+	}
+}
+
+func TestMemoryUsageWithinCapacity(t *testing.T) {
+	dev := RTXA5500()
+	g := a5500Graph()
+	use := dev.MemoryUsageBytes(g, 64)
+	if use <= 0 {
+		t.Fatal("memory usage must be positive")
+	}
+	// Paper §7.1: even 64 images remain far below the 24 GB capacity.
+	if use >= dev.MemoryCapacityBytes()/2 {
+		t.Fatalf("batch-64 usage %d should be well under capacity %d", use, dev.MemoryCapacityBytes())
+	}
+	if dev.MemoryUsageBytes(g, 64) <= dev.MemoryUsageBytes(g, 1) {
+		t.Fatal("memory usage must grow with batch")
+	}
+}
+
+func TestLibraryLoadOnce(t *testing.T) {
+	s := NewSim(RTXA5500())
+	s.LoadLibrary()
+	s.LoadLibrary()
+	count := 0
+	for _, e := range s.Events() {
+		if e.Kind == EvLibraryLoad {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("library loaded %d times, want 1", count)
+	}
+}
+
+func TestMemcpyTimes(t *testing.T) {
+	s := NewSim(RTXA5500())
+	s.MemcpyH2D("input", 160000) // one 4×100×100 float image
+	var ev *Event
+	for i := range s.Events() {
+		if s.Events()[i].Kind == EvMemcpyH2D {
+			ev = &s.Events()[i]
+		}
+	}
+	if ev == nil {
+		t.Fatal("no H2D event recorded")
+	}
+	want := RTXA5500().MemcpyOverheadNs + 160000/RTXA5500().PCIeGBps
+	if math.Abs(ev.DurNs-want) > 1 {
+		t.Fatalf("H2D duration %v, want %v", ev.DurNs, want)
+	}
+}
+
+func TestRunStageSequentialVsParallelGroups(t *testing.T) {
+	// Two independent low-occupancy kernels (batch-1 FC heads): running
+	// them as concurrent groups must beat serializing them, because each
+	// alone cannot fill the device. (High-occupancy kernels tie instead —
+	// concurrency conserves total work once the device is saturated, which
+	// is the diminishing-returns effect of Fig 6.)
+	dev := RTXA5500()
+	g := graph.NewGraph("heads", 7680)
+	a := g.FC(g.In, "head_a", 4096)
+	b := g.FC(g.In, "head_b", 4096)
+	_ = g.Concat([]*graph.Node{a, b}, "cat")
+
+	seq := NewSim(dev)
+	seqDur := seq.RunStage([][]*graph.Node{{a, b}}, 1)
+
+	par := NewSim(dev)
+	parDur := par.RunStage([][]*graph.Node{{a}, {b}}, 1)
+
+	if parDur >= seqDur*0.95 {
+		t.Fatalf("parallel groups (%v ns) must beat sequential group (%v ns)", parDur, seqDur)
+	}
+}
+
+func TestRunStageKernelEventsRecorded(t *testing.T) {
+	dev := RTXA5500()
+	g := a5500Graph()
+	s := NewSim(dev)
+	var group []*graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind != graph.OpInput {
+			group = append(group, n)
+		}
+	}
+	s.RunStage([][]*graph.Node{group}, 1)
+	kernels := 0
+	syncs := 0
+	launches := 0
+	for _, e := range s.Events() {
+		switch e.Kind {
+		case EvKernel:
+			kernels++
+		case EvSync:
+			syncs++
+		case EvLaunch:
+			launches++
+		}
+	}
+	if kernels != len(group) {
+		t.Fatalf("kernel events = %d, want %d", kernels, len(group))
+	}
+	if launches != len(group) {
+		t.Fatalf("launch events = %d, want %d", launches, len(group))
+	}
+	if syncs != 1 {
+		t.Fatalf("sync events = %d, want 1", syncs)
+	}
+}
+
+func TestStreamOrderPreserved(t *testing.T) {
+	// Kernels within one group must not overlap each other.
+	dev := RTXA5500()
+	g := graph.NewGraph("chain", 64, 50, 50)
+	a := g.Conv(g.In, "a", 64, 3, 1)
+	b := g.Conv(a, "b", 64, 3, 1)
+	s := NewSim(dev)
+	s.RunStage([][]*graph.Node{{a, b}}, 1)
+	var ea, eb *Event
+	for i := range s.Events() {
+		e := &s.Events()[i]
+		if e.Kind == EvKernel {
+			switch e.Name {
+			case "a":
+				ea = e
+			case "b":
+				eb = e
+			}
+		}
+	}
+	if ea == nil || eb == nil {
+		t.Fatal("missing kernel events")
+	}
+	if eb.StartNs < ea.EndNs()-1e-6 {
+		t.Fatalf("kernel b started at %v before a ended at %v", eb.StartNs, ea.EndNs())
+	}
+}
+
+func TestSyncWaitGrowsWithBatch(t *testing.T) {
+	// The cudaDeviceSynchronize wait (GPU running ahead of CPU) must grow
+	// with batch size — the paper's Fig 8 effect.
+	dev := RTXA5500()
+	g := a5500Graph()
+	syncTime := func(batch int) float64 {
+		s := NewSim(dev)
+		var group []*graph.Node
+		for _, n := range g.Nodes {
+			if n.Kind != graph.OpInput {
+				group = append(group, n)
+			}
+		}
+		s.RunStage([][]*graph.Node{group}, batch)
+		var total float64
+		for _, e := range s.Events() {
+			if e.Kind == EvSync {
+				total += e.DurNs
+			}
+		}
+		return total
+	}
+	if syncTime(64) <= syncTime(1)*2 {
+		t.Fatalf("sync wait should grow strongly with batch: b1=%v b64=%v", syncTime(1), syncTime(64))
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	s := NewSim(RTXA5500())
+	s.LoadLibrary()
+	s.Reset()
+	if len(s.Events()) != 0 || s.NowNs() != 0 {
+		t.Fatal("Reset must clear ledger and clock")
+	}
+}
+
+func TestRunPlanStageBarrier(t *testing.T) {
+	// A stage-2 kernel must never start before every stage-1 kernel has
+	// finished, even when its own stream is idle.
+	dev := RTXA5500()
+	g := graph.NewGraph("barrier", 256, 12, 12)
+	a := g.AdaptivePool(g.In, "a", 5)
+	b := g.AdaptivePool(g.In, "b", 2)
+	cat := g.Concat([]*graph.Node{a, b}, "cat")
+	s := NewSim(dev)
+	s.RunPlan([][][]*graph.Node{
+		{{a}, {b}},
+		{{cat}},
+	}, 64, StageOpts{})
+	var ea, eb, ec *Event
+	for i := range s.Events() {
+		e := &s.Events()[i]
+		if e.Kind == EvKernel {
+			switch e.Name {
+			case "a":
+				ea = e
+			case "b":
+				eb = e
+			case "cat":
+				ec = e
+			}
+		}
+	}
+	if ea == nil || eb == nil || ec == nil {
+		t.Fatal("missing kernel events")
+	}
+	stage1End := ea.EndNs()
+	if eb.EndNs() > stage1End {
+		stage1End = eb.EndNs()
+	}
+	if ec.StartNs < stage1End-1e-6 {
+		t.Fatalf("stage-2 kernel started at %v before stage-1 ended at %v", ec.StartNs, stage1End)
+	}
+}
+
+func TestRunPlanSingleFinalSync(t *testing.T) {
+	dev := RTXA5500()
+	g := graph.NewGraph("plan", 64, 50, 50)
+	a := g.Conv(g.In, "a", 64, 3, 1)
+	b := g.Conv(a, "b", 64, 3, 1)
+	s := NewSim(dev)
+	s.RunPlan([][][]*graph.Node{{{a}}, {{b}}}, 4, StageOpts{})
+	syncs := 0
+	for _, e := range s.Events() {
+		if e.Kind == EvSync {
+			syncs++
+		}
+	}
+	if syncs != 1 {
+		t.Fatalf("RunPlan produced %d syncs, want exactly 1", syncs)
+	}
+}
+
+func TestRunPlanDispatchDelaysLaunches(t *testing.T) {
+	dev := RTXA5500()
+	g := graph.NewGraph("dispatch", 64, 50, 50)
+	a := g.Conv(g.In, "a", 64, 3, 1)
+	noDispatch := NewSim(dev)
+	noDispatch.RunPlan([][][]*graph.Node{{{a}}}, 1, StageOpts{})
+	eager := NewSim(dev)
+	eager.RunPlan([][][]*graph.Node{{{a}}}, 1, StageOpts{DispatchNs: 25000})
+	if eager.NowNs() <= noDispatch.NowNs() {
+		t.Fatal("dispatch overhead must extend the CPU timeline")
+	}
+}

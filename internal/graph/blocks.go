@@ -1,0 +1,97 @@
+package graph
+
+import "fmt"
+
+// Block is a branched substructure of the graph with a convergent entry
+// and exit, in the IOS sense: every path from Entry's output reconverges
+// at Exit, so the members can be rescheduled freely without affecting the
+// rest of the graph. Members excludes Entry and includes Exit, in
+// topological order.
+type Block struct {
+	Entry   *Node
+	Exit    *Node
+	Members []*Node
+}
+
+// IsLinear reports whether the block is a trivial single-chain block with
+// no branching to exploit.
+func (b *Block) IsLinear() bool {
+	for _, m := range b.Members {
+		if len(m.Inputs) > 1 {
+			return false
+		}
+	}
+	// A chain also requires no internal fan-out.
+	seen := map[int]bool{}
+	for _, m := range b.Members {
+		for _, in := range m.Inputs {
+			if seen[in.ID] {
+				return false
+			}
+			seen[in.ID] = true
+		}
+	}
+	return true
+}
+
+// FindBlocks partitions the graph into a sequence of blocks delimited by
+// the postdominator chain of the input node. Each block's interior may
+// branch arbitrarily but reconverges at the block exit, which is exactly
+// the structure IOS schedules.
+func FindBlocks(g *Graph) ([]*Block, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.Nodes)
+	consumers := g.Consumers()
+
+	// Postdominator sets via one reverse-topological pass (consumers always
+	// have higher IDs in a valid graph).
+	pdom := make([]map[int]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		set := map[int]bool{i: true}
+		cs := consumers[i]
+		if len(cs) > 0 {
+			inter := pdom[cs[0]]
+			for x := range inter {
+				all := true
+				for _, c := range cs[1:] {
+					if !pdom[c][x] {
+						all = false
+						break
+					}
+				}
+				if all {
+					set[x] = true
+				}
+			}
+		}
+		pdom[i] = set
+	}
+
+	// Cut points: the postdominators of the input, visited in topological
+	// (ID) order, give the linear backbone input → ... → output.
+	var cuts []int
+	for id := 0; id < n; id++ {
+		if pdom[g.In.ID][id] {
+			cuts = append(cuts, id)
+		}
+	}
+	if len(cuts) == 0 || cuts[len(cuts)-1] != g.Out.ID {
+		return nil, fmt.Errorf("graph %s: output does not postdominate input", g.Name)
+	}
+
+	var blocks []*Block
+	for i := 0; i+1 < len(cuts); i++ {
+		entry, exit := cuts[i], cuts[i+1]
+		b := &Block{Entry: g.Nodes[entry], Exit: g.Nodes[exit]}
+		for id := entry + 1; id <= exit; id++ {
+			// Node belongs to this block if it lies between the cuts. All
+			// non-backbone nodes between consecutive cuts are on paths
+			// entry→exit by construction of the postdominator chain.
+			b.Members = append(b.Members, g.Nodes[id])
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}

@@ -1,0 +1,336 @@
+// Package graph defines a framework-neutral operator-DAG intermediate
+// representation for CNN inference. The IR carries enough cost metadata
+// (FLOPs, bytes moved, thread-level parallelism) for the GPU simulator in
+// internal/gpu to price kernels and for the IOS scheduler in internal/ios
+// to search execution schedules.
+//
+// Activations are fused into their producing operator (as real inference
+// stacks do), so a node corresponds to one GPU kernel launch.
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind classifies a node by the GPU kernel family that executes it. The
+// classes mirror the paper's Table 3 profiling categories.
+type OpKind int
+
+const (
+	// OpInput is the graph entry; it launches no kernel.
+	OpInput OpKind = iota
+	// OpConv is a 2-D convolution (im2col+GEMM or implicit-GEMM kernel).
+	OpConv
+	// OpPool is max pooling (fixed window).
+	OpPool
+	// OpAdaptivePool is adaptive max pooling (one SPP pyramid branch).
+	OpAdaptivePool
+	// OpMatMul is a fully-connected layer (GEMM/GEMV kernel).
+	OpMatMul
+	// OpConcat concatenates branch outputs (pure memory movement).
+	OpConcat
+	// OpElementwise is a standalone activation or arithmetic kernel.
+	OpElementwise
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpInput:
+		return "input"
+	case OpConv:
+		return "conv"
+	case OpPool:
+		return "pool"
+	case OpAdaptivePool:
+		return "adaptive_pool"
+	case OpMatMul:
+		return "matmul"
+	case OpConcat:
+		return "concat"
+	case OpElementwise:
+		return "elementwise"
+	default:
+		return fmt.Sprintf("opkind(%d)", int(k))
+	}
+}
+
+// KernelClass maps an OpKind onto the paper's Table 3 categories.
+// Adaptive pooling and fixed pooling are both "Pooling"; concat and
+// elementwise kernels fall into "Other".
+func (k OpKind) KernelClass() string {
+	switch k {
+	case OpConv:
+		return "Conv"
+	case OpPool, OpAdaptivePool:
+		return "Pooling"
+	case OpMatMul:
+		return "MatMul"
+	default:
+		return "Other"
+	}
+}
+
+// Node is one operator (= one kernel launch) in the DAG. Shapes exclude
+// the batch dimension; cost queries take the batch size as a parameter so
+// one graph serves every batch-size experiment.
+type Node struct {
+	ID   int
+	Name string
+	Kind OpKind
+
+	InShape  []int // per-sample input shape (C,H,W) or (F)
+	OutShape []int // per-sample output shape
+
+	Inputs []*Node
+
+	// FLOPsPerSample is the floating-point work per sample.
+	FLOPsPerSample int64
+	// WeightBytes is the parameter footprint read by the kernel.
+	WeightBytes int64
+	// ThreadsPerSample is the kernel's thread-level parallelism per sample
+	// (typically the number of output elements).
+	ThreadsPerSample int64
+}
+
+// BytesInPerSample returns the activation bytes read per sample.
+func (n *Node) BytesInPerSample() int64 {
+	var total int64
+	for _, in := range n.Inputs {
+		total += int64(volume(in.OutShape)) * 4
+	}
+	return total
+}
+
+// BytesOutPerSample returns the activation bytes written per sample.
+func (n *Node) BytesOutPerSample() int64 {
+	return int64(volume(n.OutShape)) * 4
+}
+
+func volume(shape []int) int {
+	v := 1
+	for _, d := range shape {
+		v *= d
+	}
+	return v
+}
+
+// Graph is an operator DAG with a single input node. Nodes is maintained
+// in topological order (builders append in dependency order).
+type Graph struct {
+	Name  string
+	Nodes []*Node
+	In    *Node
+	Out   *Node
+}
+
+// NewGraph creates a graph with an input node of the given per-sample
+// shape (e.g. 4,100,100).
+func NewGraph(name string, inShape ...int) *Graph {
+	g := &Graph{Name: name}
+	g.In = &Node{ID: 0, Name: "input", Kind: OpInput, OutShape: append([]int(nil), inShape...)}
+	g.Nodes = []*Node{g.In}
+	g.Out = g.In
+	return g
+}
+
+func (g *Graph) add(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	g.Out = n
+	return n
+}
+
+// Conv appends a convolution node: outC filters of k×k with the given
+// stride and same-ish padding (k/2), fused activation.
+func (g *Graph) Conv(from *Node, name string, outC, k, stride int) *Node {
+	c, h, w := from.OutShape[0], from.OutShape[1], from.OutShape[2]
+	pad := k / 2
+	oh := (h+2*pad-k)/stride + 1
+	ow := (w+2*pad-k)/stride + 1
+	n := &Node{
+		Name:             name,
+		Kind:             OpConv,
+		InShape:          from.OutShape,
+		OutShape:         []int{outC, oh, ow},
+		Inputs:           []*Node{from},
+		FLOPsPerSample:   2 * int64(outC) * int64(oh) * int64(ow) * int64(c) * int64(k) * int64(k),
+		WeightBytes:      int64(outC) * int64(c) * int64(k) * int64(k) * 4,
+		ThreadsPerSample: int64(outC) * int64(oh) * int64(ow),
+	}
+	return g.add(n)
+}
+
+// Pool appends a k×k/stride max-pool node.
+func (g *Graph) Pool(from *Node, name string, k, stride int) *Node {
+	c, h, w := from.OutShape[0], from.OutShape[1], from.OutShape[2]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	n := &Node{
+		Name:             name,
+		Kind:             OpPool,
+		InShape:          from.OutShape,
+		OutShape:         []int{c, oh, ow},
+		Inputs:           []*Node{from},
+		FLOPsPerSample:   int64(c) * int64(oh) * int64(ow) * int64(k) * int64(k),
+		ThreadsPerSample: int64(c) * int64(oh) * int64(ow),
+	}
+	return g.add(n)
+}
+
+// AdaptivePool appends an adaptive max-pool node producing an out×out grid
+// (one SPP pyramid level).
+func (g *Graph) AdaptivePool(from *Node, name string, out int) *Node {
+	c, h, w := from.OutShape[0], from.OutShape[1], from.OutShape[2]
+	// Each output bin scans roughly (h/out)×(w/out) inputs.
+	binH := (h + out - 1) / out
+	binW := (w + out - 1) / out
+	n := &Node{
+		Name:             name,
+		Kind:             OpAdaptivePool,
+		InShape:          from.OutShape,
+		OutShape:         []int{c, out, out},
+		Inputs:           []*Node{from},
+		FLOPsPerSample:   int64(c) * int64(out) * int64(out) * int64(binH) * int64(binW),
+		ThreadsPerSample: int64(c) * int64(out) * int64(out),
+	}
+	return g.add(n)
+}
+
+// Concat appends a node concatenating the flattened outputs of froms.
+func (g *Graph) Concat(froms []*Node, name string) *Node {
+	total := 0
+	for _, f := range froms {
+		total += volume(f.OutShape)
+	}
+	n := &Node{
+		Name:             name,
+		Kind:             OpConcat,
+		OutShape:         []int{total},
+		Inputs:           append([]*Node(nil), froms...),
+		ThreadsPerSample: int64(total),
+	}
+	if len(froms) > 0 {
+		n.InShape = froms[0].OutShape
+	}
+	return g.add(n)
+}
+
+// FC appends a fully-connected node with fused activation.
+func (g *Graph) FC(from *Node, name string, out int) *Node {
+	in := volume(from.OutShape)
+	n := &Node{
+		Name:             name,
+		Kind:             OpMatMul,
+		InShape:          []int{in},
+		OutShape:         []int{out},
+		Inputs:           []*Node{from},
+		FLOPsPerSample:   2 * int64(in) * int64(out),
+		WeightBytes:      int64(in) * int64(out) * 4,
+		ThreadsPerSample: int64(out),
+	}
+	return g.add(n)
+}
+
+// Elementwise appends a standalone elementwise kernel (rarely needed —
+// activations are fused — but kept for generality).
+func (g *Graph) Elementwise(from *Node, name string) *Node {
+	n := &Node{
+		Name:             name,
+		Kind:             OpElementwise,
+		InShape:          from.OutShape,
+		OutShape:         append([]int(nil), from.OutShape...),
+		Inputs:           []*Node{from},
+		FLOPsPerSample:   int64(volume(from.OutShape)),
+		ThreadsPerSample: int64(volume(from.OutShape)),
+	}
+	return g.add(n)
+}
+
+// Consumers returns, for each node ID, the IDs of nodes consuming it.
+func (g *Graph) Consumers() [][]int {
+	out := make([][]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			out[in.ID] = append(out[in.ID], n.ID)
+		}
+	}
+	return out
+}
+
+// TotalFLOPsPerSample sums FLOPs over all kernels.
+func (g *Graph) TotalFLOPsPerSample() int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		total += n.FLOPsPerSample
+	}
+	return total
+}
+
+// TotalWeightBytes sums parameter bytes over all kernels.
+func (g *Graph) TotalWeightBytes() int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		total += n.WeightBytes
+	}
+	return total
+}
+
+// ActivationBytesPerSample returns the peak-ish activation footprint: the
+// sum of all node outputs (a conservative bound used by the memory model).
+func (g *Graph) ActivationBytesPerSample() int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		total += n.BytesOutPerSample()
+	}
+	return total
+}
+
+// Validate checks topological ordering and connectivity invariants.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 || g.Nodes[0].Kind != OpInput {
+		return fmt.Errorf("graph %s: first node must be the input", g.Name)
+	}
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("graph %s: node %q has ID %d at position %d", g.Name, n.Name, n.ID, i)
+		}
+		for _, in := range n.Inputs {
+			if in.ID >= n.ID {
+				return fmt.Errorf("graph %s: node %q consumes later node %q (not topological)", g.Name, n.Name, in.Name)
+			}
+		}
+	}
+	reach := make([]bool, len(g.Nodes))
+	reach[g.Out.ID] = true
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		if !reach[i] {
+			continue
+		}
+		for _, in := range g.Nodes[i].Inputs {
+			reach[in.ID] = true
+		}
+	}
+	for i, r := range reach {
+		if !r && g.Nodes[i].Kind != OpInput {
+			return fmt.Errorf("graph %s: node %q does not reach the output", g.Name, g.Nodes[i].Name)
+		}
+	}
+	return nil
+}
+
+// String renders a one-line-per-node description.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s:\n", g.Name)
+	for _, n := range g.Nodes {
+		var ins []string
+		for _, in := range n.Inputs {
+			ins = append(ins, in.Name)
+		}
+		fmt.Fprintf(&b, "  [%2d] %-14s %-13s in=%v out=%v flops=%d threads=%d\n",
+			n.ID, n.Name, n.Kind, ins, n.OutShape, n.FLOPsPerSample, n.ThreadsPerSample)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSPPNetGraph constructs the Original SPP-Net topology from the paper
+// (C64,3,1-P2,2-C128,3,1-P2,2-C256,3,1-P2,2-SPP{4,2,1}-F1024 + 5-way head).
+func buildSPPNetGraph(t *testing.T, levels []int, fc int) *Graph {
+	t.Helper()
+	g := NewGraph("sppnet", 4, 100, 100)
+	x := g.Conv(g.In, "conv1", 64, 3, 1)
+	x = g.Pool(x, "pool1", 2, 2)
+	x = g.Conv(x, "conv2", 128, 3, 1)
+	x = g.Pool(x, "pool2", 2, 2)
+	x = g.Conv(x, "conv3", 256, 3, 1)
+	x = g.Pool(x, "pool3", 2, 2)
+	var branches []*Node
+	for i, l := range levels {
+		branches = append(branches, g.AdaptivePool(x, sppName(i, l), l))
+	}
+	cat := g.Concat(branches, "spp_concat")
+	h := g.FC(cat, "fc1", fc)
+	g.FC(h, "head", 5)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func sppName(i, l int) string {
+	return "spp_l" + string(rune('0'+l))
+}
+
+func TestConvShapesAndFLOPs(t *testing.T) {
+	g := NewGraph("t", 4, 100, 100)
+	c := g.Conv(g.In, "c1", 64, 3, 1)
+	if c.OutShape[0] != 64 || c.OutShape[1] != 100 || c.OutShape[2] != 100 {
+		t.Fatalf("conv out shape %v", c.OutShape)
+	}
+	want := int64(2 * 64 * 100 * 100 * 4 * 3 * 3)
+	if c.FLOPsPerSample != want {
+		t.Fatalf("conv FLOPs %d, want %d", c.FLOPsPerSample, want)
+	}
+	if c.WeightBytes != 64*4*3*3*4 {
+		t.Fatalf("conv weight bytes %d", c.WeightBytes)
+	}
+}
+
+func TestPoolShape(t *testing.T) {
+	g := NewGraph("t", 64, 100, 100)
+	p := g.Pool(g.In, "p1", 2, 2)
+	if p.OutShape[1] != 50 || p.OutShape[2] != 50 {
+		t.Fatalf("pool out shape %v", p.OutShape)
+	}
+}
+
+func TestAdaptivePoolShape(t *testing.T) {
+	g := NewGraph("t", 256, 12, 12)
+	a := g.AdaptivePool(g.In, "a4", 4)
+	if a.OutShape[0] != 256 || a.OutShape[1] != 4 || a.OutShape[2] != 4 {
+		t.Fatalf("adaptive out shape %v", a.OutShape)
+	}
+}
+
+func TestConcatAndFC(t *testing.T) {
+	g := NewGraph("t", 8, 8, 8)
+	a := g.AdaptivePool(g.In, "a2", 2)
+	b := g.AdaptivePool(g.In, "a1", 1)
+	cat := g.Concat([]*Node{a, b}, "cat")
+	if cat.OutShape[0] != 8*4+8*1 {
+		t.Fatalf("concat features %v", cat.OutShape)
+	}
+	fc := g.FC(cat, "fc", 16)
+	if fc.FLOPsPerSample != 2*40*16 {
+		t.Fatalf("fc FLOPs %d", fc.FLOPsPerSample)
+	}
+}
+
+func TestValidateCatchesNonTopological(t *testing.T) {
+	g := NewGraph("t", 1, 4, 4)
+	a := g.Conv(g.In, "a", 2, 3, 1)
+	b := g.Conv(a, "b", 2, 3, 1)
+	// Corrupt: make a consume b.
+	a.Inputs = []*Node{b}
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation error for cycle")
+	}
+}
+
+func TestKernelClassMapping(t *testing.T) {
+	cases := map[OpKind]string{
+		OpConv:         "Conv",
+		OpPool:         "Pooling",
+		OpAdaptivePool: "Pooling",
+		OpMatMul:       "MatMul",
+		OpConcat:       "Other",
+		OpElementwise:  "Other",
+	}
+	for k, want := range cases {
+		if got := k.KernelClass(); got != want {
+			t.Fatalf("KernelClass(%v) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSPPNetGraphStructure(t *testing.T) {
+	g := buildSPPNetGraph(t, []int{4, 2, 1}, 1024)
+	// input + 3 conv + 3 pool + 3 spp + concat + 2 fc = 13 nodes
+	if len(g.Nodes) != 13 {
+		t.Fatalf("node count %d, want 13", len(g.Nodes))
+	}
+	cons := g.Consumers()
+	// pool3 feeds the 3 SPP branches.
+	pool3 := g.Nodes[6]
+	if pool3.Name != "pool3" || len(cons[pool3.ID]) != 3 {
+		t.Fatalf("pool3 consumers %v", cons[pool3.ID])
+	}
+}
+
+func TestFindBlocksSPPNet(t *testing.T) {
+	g := buildSPPNetGraph(t, []int{4, 2, 1}, 1024)
+	blocks, err := FindBlocks(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SPP region (3 branches + concat) must land in one non-linear
+	// block; everything else is linear.
+	var branched *Block
+	for _, b := range blocks {
+		if !b.IsLinear() {
+			if branched != nil {
+				t.Fatal("more than one branched block found")
+			}
+			branched = b
+		}
+	}
+	if branched == nil {
+		t.Fatal("no branched block found for the SPP region")
+	}
+	if branched.Exit.Name != "spp_concat" {
+		t.Fatalf("branched block exit %q, want spp_concat", branched.Exit.Name)
+	}
+	if len(branched.Members) != 4 {
+		t.Fatalf("branched block has %d members, want 4 (3 branches + concat)", len(branched.Members))
+	}
+}
+
+func TestFindBlocksLinearChain(t *testing.T) {
+	g := NewGraph("lin", 1, 8, 8)
+	a := g.Conv(g.In, "a", 2, 3, 1)
+	g.Conv(a, "b", 2, 3, 1)
+	blocks, err := FindBlocks(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(blocks))
+	}
+	for _, b := range blocks {
+		if !b.IsLinear() {
+			t.Fatal("linear chain produced non-linear block")
+		}
+	}
+}
+
+func TestBlocksCoverAllNodes(t *testing.T) {
+	g := buildSPPNetGraph(t, []int{5, 2, 1}, 4096)
+	blocks, err := FindBlocks(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[int]bool{g.In.ID: true}
+	for _, b := range blocks {
+		for _, m := range b.Members {
+			if covered[m.ID] {
+				t.Fatalf("node %q appears in two blocks", m.Name)
+			}
+			covered[m.ID] = true
+		}
+	}
+	if len(covered) != len(g.Nodes) {
+		t.Fatalf("blocks cover %d of %d nodes", len(covered), len(g.Nodes))
+	}
+}
+
+func TestTotalsArePositive(t *testing.T) {
+	g := buildSPPNetGraph(t, []int{4, 2, 1}, 1024)
+	if g.TotalFLOPsPerSample() <= 0 {
+		t.Fatal("zero FLOPs")
+	}
+	if g.TotalWeightBytes() <= 0 {
+		t.Fatal("zero weights")
+	}
+	if g.ActivationBytesPerSample() <= 0 {
+		t.Fatal("zero activations")
+	}
+}
+
+func TestGraphStringMentionsAllNodes(t *testing.T) {
+	g := buildSPPNetGraph(t, []int{4, 2, 1}, 1024)
+	s := g.String()
+	for _, n := range g.Nodes {
+		if !strings.Contains(s, n.Name) {
+			t.Fatalf("String() missing node %q", n.Name)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package hydro
+
+import "math"
+
+// BreachAt carves a channel through an embankment around the given
+// drainage-crossing point: every cell within the radius is lowered onto a
+// cone that slopes toward the lowest cell in the neighborhood (the
+// downstream channel), so water entering the breach drains through it
+// instead of ponding (the "selective drainage" operation of Poppenga et
+// al., automated by detected crossings).
+func BreachAt(dem *Grid, p Point, radius int) {
+	if !dem.In(p.R, p.C) || radius < 1 {
+		return
+	}
+	// Locate the lowest cell in the disc: the breach outlet.
+	outlet := p
+	lo := dem.At(p.R, p.C)
+	for r := p.R - radius; r <= p.R+radius; r++ {
+		for c := p.C - radius; c <= p.C+radius; c++ {
+			if !dem.In(r, c) {
+				continue
+			}
+			dr, dc := r-p.R, c-p.C
+			if dr*dr+dc*dc > radius*radius {
+				continue
+			}
+			if v := dem.At(r, c); v < lo {
+				lo = v
+				outlet = Point{R: r, C: c}
+			}
+		}
+	}
+	// Lower every disc cell onto a gentle cone descending to the outlet,
+	// so the carved surface has no interior pit. Cells already below the
+	// cone are left untouched (breaching only removes material).
+	const slope = 0.01
+	for r := p.R - radius; r <= p.R+radius; r++ {
+		for c := p.C - radius; c <= p.C+radius; c++ {
+			if !dem.In(r, c) {
+				continue
+			}
+			dr, dc := r-p.R, c-p.C
+			if dr*dr+dc*dc > radius*radius {
+				continue
+			}
+			or, oc := r-outlet.R, c-outlet.C
+			target := lo + slope*math.Sqrt(float64(or*or+oc*oc))
+			if dem.At(r, c) > target {
+				dem.Set(r, c, target)
+			}
+		}
+	}
+}
+
+// BreachAll applies BreachAt to every point.
+func BreachAll(dem *Grid, points []Point, radius int) {
+	for _, p := range points {
+		BreachAt(dem, p, radius)
+	}
+}

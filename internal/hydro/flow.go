@@ -1,0 +1,236 @@
+package hydro
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// FlowDir holds D8 flow directions: for each cell, the index 0..7 of the
+// steepest-descent neighbor, or -1 for pits and flats with no lower
+// neighbor (interior sinks), or -2 for cells that drain off the grid edge.
+type FlowDir struct {
+	Rows, Cols int
+	Dir        []int8
+}
+
+// PitDir marks a cell with no downslope neighbor.
+const PitDir int8 = -1
+
+// EdgeDir marks a cell that drains off the raster boundary.
+const EdgeDir int8 = -2
+
+// At returns the direction at (r, c).
+func (f *FlowDir) At(r, c int) int8 { return f.Dir[r*f.Cols+c] }
+
+// Downstream returns the next cell along the flow path and whether the
+// path continues (false at pits and edge outflows).
+func (f *FlowDir) Downstream(p Point) (Point, bool) {
+	d := f.At(p.R, p.C)
+	if d < 0 {
+		return p, false
+	}
+	return Point{p.R + d8dr[d], p.C + d8dc[d]}, true
+}
+
+// D8FlowDirections computes steepest-descent D8 directions on dem. Border
+// cells whose steepest descent leaves the raster are marked EdgeDir.
+func D8FlowDirections(dem *Grid) *FlowDir {
+	f := &FlowDir{Rows: dem.Rows, Cols: dem.Cols, Dir: make([]int8, dem.Rows*dem.Cols)}
+	for r := 0; r < dem.Rows; r++ {
+		for c := 0; c < dem.Cols; c++ {
+			z := dem.At(r, c)
+			best := int8(PitDir)
+			bestSlope := 0.0
+			offGrid := false
+			for i := 0; i < 8; i++ {
+				nr, nc := r+d8dr[i], c+d8dc[i]
+				if !dem.In(nr, nc) {
+					// Flowing off the edge is always possible for border
+					// cells; model the outside as infinitely low.
+					offGrid = true
+					continue
+				}
+				slope := (z - dem.At(nr, nc)) / dist8(i)
+				if slope > bestSlope {
+					bestSlope = slope
+					best = int8(i)
+				}
+			}
+			if best == PitDir && offGrid {
+				best = EdgeDir
+			}
+			f.Dir[r*f.Cols+c] = best
+		}
+	}
+	return f
+}
+
+// FlowAccumulation computes D8 flow accumulation (number of upstream
+// cells, inclusive of the cell itself) by processing cells in descending
+// elevation order.
+func FlowAccumulation(dem *Grid, dirs *FlowDir) *Grid {
+	acc := NewGrid(dem.Rows, dem.Cols, dem.CellSize)
+	for i := range acc.Data {
+		acc.Data[i] = 1
+	}
+	order := make([]int, len(dem.Data))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dem.Data[order[a]] > dem.Data[order[b]] })
+	for _, idx := range order {
+		r, c := idx/dem.Cols, idx%dem.Cols
+		d := dirs.At(r, c)
+		if d < 0 {
+			continue
+		}
+		nr, nc := r+d8dr[d], c+d8dc[d]
+		acc.Add(nr, nc, acc.At(r, c))
+	}
+	return acc
+}
+
+// floodCell is a priority-queue item for priority-flood filling.
+type floodCell struct {
+	z    float64
+	r, c int
+}
+
+type floodHeap []floodCell
+
+func (h floodHeap) Len() int            { return len(h) }
+func (h floodHeap) Less(i, j int) bool  { return h[i].z < h[j].z }
+func (h floodHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floodHeap) Push(x interface{}) { *h = append(*h, x.(floodCell)) }
+func (h *floodHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FillDepressions returns a copy of dem with all interior depressions
+// raised to their spill elevation (Barnes et al. priority-flood). A tiny
+// epsilon gradient keeps filled areas drainable.
+func FillDepressions(dem *Grid) *Grid {
+	const eps = 1e-6
+	out := dem.Clone()
+	visited := make([]bool, len(dem.Data))
+	h := &floodHeap{}
+	heap.Init(h)
+	push := func(r, c int) {
+		visited[r*dem.Cols+c] = true
+		heap.Push(h, floodCell{z: out.At(r, c), r: r, c: c})
+	}
+	for c := 0; c < dem.Cols; c++ {
+		push(0, c)
+		if dem.Rows > 1 {
+			push(dem.Rows-1, c)
+		}
+	}
+	for r := 1; r < dem.Rows-1; r++ {
+		push(r, 0)
+		if dem.Cols > 1 {
+			push(r, dem.Cols-1)
+		}
+	}
+	for h.Len() > 0 {
+		cell := heap.Pop(h).(floodCell)
+		for i := 0; i < 8; i++ {
+			nr, nc := cell.r+d8dr[i], cell.c+d8dc[i]
+			if !dem.In(nr, nc) || visited[nr*dem.Cols+nc] {
+				continue
+			}
+			visited[nr*dem.Cols+nc] = true
+			z := out.At(nr, nc)
+			if z <= cell.z {
+				z = cell.z + eps
+				out.Set(nr, nc, z)
+			}
+			heap.Push(h, floodCell{z: z, r: nr, c: nc})
+		}
+	}
+	return out
+}
+
+// FillDepressionsLimited fills depressions only up to maxDepth of fill:
+// shallow natural micro-depressions (interpolation noise) drain, while
+// deep ponds — such as those impounded behind road embankments — remain.
+// This is the preprocessing hydrologists apply before diagnosing digital
+// dams: without it every pixel-scale pit looks like a dam.
+func FillDepressionsLimited(dem *Grid, maxDepth float64) *Grid {
+	filled := FillDepressions(dem)
+	out := dem.Clone()
+	for i := range out.Data {
+		limit := dem.Data[i] + maxDepth
+		if filled.Data[i] <= limit {
+			out.Data[i] = filled.Data[i]
+		} else {
+			out.Data[i] = limit
+		}
+	}
+	return out
+}
+
+// ExtractStreams returns the boolean stream mask: cells whose accumulation
+// meets the threshold.
+func ExtractStreams(acc *Grid, threshold float64) []bool {
+	mask := make([]bool, len(acc.Data))
+	for i, v := range acc.Data {
+		mask[i] = v >= threshold
+	}
+	return mask
+}
+
+// TraceToOutlet follows the D8 path from p until it exits the raster
+// (true) or terminates in a pit (false), with a step bound for safety.
+func TraceToOutlet(dirs *FlowDir, p Point) bool {
+	maxSteps := dirs.Rows * dirs.Cols
+	for step := 0; step < maxSteps; step++ {
+		d := dirs.At(p.R, p.C)
+		if d == EdgeDir {
+			return true
+		}
+		if d == PitDir {
+			return false
+		}
+		p = Point{p.R + d8dr[d], p.C + d8dc[d]}
+	}
+	return false
+}
+
+// ConnectivityScore returns the fraction of stream cells whose flow path
+// reaches the raster boundary. Digital dams strand stream cells in pits
+// behind embankments, lowering the score; breaching restores it.
+func ConnectivityScore(dem *Grid, streamThreshold float64) float64 {
+	dirs := D8FlowDirections(dem)
+	acc := FlowAccumulation(dem, dirs)
+	mask := ExtractStreams(acc, streamThreshold)
+	total, connected := 0, 0
+	for i, isStream := range mask {
+		if !isStream {
+			continue
+		}
+		total++
+		if TraceToOutlet(dirs, Point{R: i / dem.Cols, C: i % dem.Cols}) {
+			connected++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(connected) / float64(total)
+}
+
+// CountPits returns the number of interior sink cells.
+func CountPits(dem *Grid) int {
+	dirs := D8FlowDirections(dem)
+	n := 0
+	for _, d := range dirs.Dir {
+		if d == PitDir {
+			n++
+		}
+	}
+	return n
+}

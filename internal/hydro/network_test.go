@@ -1,0 +1,139 @@
+package hydro
+
+import "testing"
+
+// yDEM builds two headwater channels merging into one: a "Y" network on a
+// south-draining slope. Streams run down columns 2 and 6, joining at the
+// confluence row into a single channel down column 4.
+func yDEM() (*Grid, []bool) {
+	rows, cols := 12, 9
+	dem := NewGrid(rows, cols, 1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			z := float64(rows-r) * 2 // south-draining
+			// Carve channels.
+			dem.Set(r, c, z+3)
+		}
+	}
+	stream := make([]bool, rows*cols)
+	carve := func(r, c int) {
+		dem.Set(r, c, dem.At(r, c)-3)
+		stream[r*cols+c] = true
+	}
+	// Two branches converging at (6,4).
+	for r := 0; r <= 5; r++ {
+		carve(r, 2)
+		carve(r, 6)
+	}
+	carve(5, 3) // branch 1 bends toward center
+	carve(5, 5) // branch 2 bends toward center
+	for r := 6; r < rows; r++ {
+		carve(r, 4)
+	}
+	return dem, stream
+}
+
+func TestStrahlerYNetwork(t *testing.T) {
+	dem, stream := yDEM()
+	dirs := D8FlowDirections(dem)
+	order := StrahlerOrder(dem, dirs, stream)
+	// Headwaters are order 1.
+	if order[0*9+2] != 1 || order[0*9+6] != 1 {
+		t.Fatalf("headwater orders: %d, %d", order[0*9+2], order[0*9+6])
+	}
+	// After the confluence the main stem is order 2.
+	if got := order[10*9+4]; got != 2 {
+		t.Fatalf("main stem order = %d, want 2", got)
+	}
+	if MaxOrder(order) != 2 {
+		t.Fatalf("max order = %d, want 2", MaxOrder(order))
+	}
+	// Non-stream cells are order 0.
+	if order[0*9+0] != 0 {
+		t.Fatal("non-stream cell must be order 0")
+	}
+}
+
+func TestStrahlerSingleChannelStaysOrder1(t *testing.T) {
+	dem := tiltedPlane(1, 10)
+	stream := make([]bool, 10)
+	for i := range stream {
+		stream[i] = true
+	}
+	dirs := D8FlowDirections(dem)
+	order := StrahlerOrder(dem, dirs, stream)
+	for i, w := range order {
+		if w != 1 {
+			t.Fatalf("cell %d order = %d, want 1 (no confluences)", i, w)
+		}
+	}
+}
+
+func TestBasinsTiltedPlaneRowsSeparate(t *testing.T) {
+	// Rows of a tilted plane flow straight east: each row is its own
+	// basin ending at the east edge.
+	dem := tiltedPlane(4, 6)
+	dirs := D8FlowDirections(dem)
+	labels := Basins(dirs)
+	if got := BasinCount(labels); got != 4 {
+		t.Fatalf("basins = %d, want 4", got)
+	}
+	// Every cell in a row must share the row's label.
+	for r := 0; r < 4; r++ {
+		want := labels[r*6]
+		for c := 0; c < 6; c++ {
+			if labels[r*6+c] != want {
+				t.Fatalf("row %d not a single basin", r)
+			}
+		}
+	}
+}
+
+func TestBasinsPitCapturesNeighborhood(t *testing.T) {
+	dem := NewGrid(5, 5, 1)
+	for i := range dem.Data {
+		dem.Data[i] = 10
+	}
+	dem.Set(2, 2, 1) // deep central pit: the whole interior drains to it
+	dirs := D8FlowDirections(dem)
+	labels := Basins(dirs)
+	pit := 2*5 + 2
+	if labels[pit] != pit {
+		t.Fatal("pit must be its own basin root")
+	}
+	if labels[1*5+1] != pit {
+		t.Fatal("neighbor must drain to the pit")
+	}
+}
+
+func TestLargestBasinFrac(t *testing.T) {
+	if got := LargestBasinFrac([]int{1, 1, 1, 2}); got != 0.75 {
+		t.Fatalf("frac = %v, want 0.75", got)
+	}
+	if LargestBasinFrac(nil) != 0 {
+		t.Fatal("empty labels must give 0")
+	}
+}
+
+func TestDamsFragmentBasins(t *testing.T) {
+	// The digital-dam valley: the embankment splits the valley basin.
+	dem, crossing := buildDammedValley()
+	undammed := NewGrid(dem.Rows, dem.Cols, 1)
+	for r := 0; r < dem.Rows; r++ {
+		for c := 0; c < dem.Cols; c++ {
+			dv := float64(r - dem.Rows/2)
+			undammed.Set(r, c, float64(dem.Cols-c)*0.5+dv*dv*0.05)
+		}
+	}
+	free := LargestBasinFrac(Basins(D8FlowDirections(undammed)))
+	dammed := LargestBasinFrac(Basins(D8FlowDirections(dem)))
+	if dammed >= free {
+		t.Fatalf("dam should fragment the main basin: free %v, dammed %v", free, dammed)
+	}
+	// Breaching reconnects it.
+	BreachAt(dem, crossing, 4)
+	breached := LargestBasinFrac(Basins(D8FlowDirections(dem)))
+	if breached <= dammed {
+		t.Fatalf("breach should rejoin basins: dammed %v, breached %v", dammed, breached)
+	}
+}

@@ -1,0 +1,41 @@
+package ios
+
+import (
+	"testing"
+
+	"drainnet/internal/gpu"
+)
+
+func BenchmarkOptimizeSPPNet2(b *testing.B) {
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	for i := 0; i < b.N; i++ {
+		// Fresh oracle per iteration so the DP (not the memo) is timed.
+		if _, err := Optimize(g, NewSimOracle(gpu.RTXA5500()), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPlanBatch32(b *testing.B) {
+	dev := gpu.RTXA5500()
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	sched, err := Optimize(g, NewSimOracle(dev), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := NewRuntime(dev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Measure(g, sched, 32)
+	}
+}
+
+func BenchmarkMultiGPUPlacement(b *testing.B) {
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	cfg := DefaultMultiGPU(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeMultiGPU(g, cfg, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package ios
+
+import (
+	"drainnet/internal/gpu"
+	"drainnet/internal/graph"
+)
+
+// Runtime executes schedules on a simulated GPU and measures latency.
+type Runtime struct {
+	Dev gpu.DeviceConfig
+	// EagerDispatchNs is the per-operator CPU overhead charged when
+	// executing an Eager (framework-sequential) schedule, modeling the
+	// dispatch cost of eager deep-learning frameworks. Static schedules
+	// (IOS, greedy) pay only the raw launch cost.
+	EagerDispatchNs float64
+}
+
+// NewRuntime creates a runtime with the default eager-dispatch calibration.
+func NewRuntime(dev gpu.DeviceConfig) *Runtime {
+	return &Runtime{Dev: dev, EagerDispatchNs: 25000}
+}
+
+// RunResult summarizes one inference execution.
+type RunResult struct {
+	// LatencyNs is end-to-end: input H2D copy, all stages, output D2H copy.
+	LatencyNs float64
+	// EfficiencyNsPerImage is LatencyNs / batch (the paper's "inference
+	// efficiency" metric from §6.4).
+	EfficiencyNsPerImage float64
+	// Batch echoes the batch size.
+	Batch int
+	// Kernels is the number of kernel launches.
+	Kernels int
+}
+
+// Run executes one batched inference of g under sched on sim. The caller
+// owns sim, so profiling runs can keep accumulating events (including the
+// one-time library load) while latency runs can pre-warm. Latency excludes
+// the library load when the sim is pre-warmed via sim.LoadLibrary().
+func (r *Runtime) Run(sim *gpu.Sim, g *graph.Graph, sched *Schedule, batch int) RunResult {
+	if batch < 1 {
+		panic("ios: batch must be ≥ 1")
+	}
+	start := sim.NowNs()
+	inBytes := int64(volume(g.In.OutShape)) * 4 * int64(batch)
+	sim.MemcpyH2D("input", inBytes)
+	opts := gpu.StageOpts{}
+	if sched.Eager {
+		opts.DispatchNs = r.EagerDispatchNs
+	}
+	// Execute the whole plan with GPU-side stage barriers and one host
+	// sync, as the IOS runtime does (events between streams, a single
+	// cudaDeviceSynchronize before reading results back).
+	stages := make([][][]*graph.Node, len(sched.Stages))
+	for si, st := range sched.Stages {
+		groups := make([][]*graph.Node, len(st.Groups))
+		for i, gr := range st.Groups {
+			groups[i] = gr
+		}
+		stages[si] = groups
+	}
+	sim.RunPlan(stages, batch, opts)
+	outBytes := int64(volume(g.Out.OutShape)) * 4 * int64(batch)
+	sim.MemcpyD2H("output", outBytes)
+	lat := sim.NowNs() - start
+	return RunResult{
+		LatencyNs:            lat,
+		EfficiencyNsPerImage: lat / float64(batch),
+		Batch:                batch,
+		Kernels:              sched.NumKernels(),
+	}
+}
+
+// Measure is a convenience wrapper: fresh pre-warmed simulator, one run.
+func (r *Runtime) Measure(g *graph.Graph, sched *Schedule, batch int) RunResult {
+	sim := gpu.NewSim(r.Dev)
+	sim.LoadLibrary()
+	return r.Run(sim, g, sched, batch)
+}
+
+func volume(shape []int) int {
+	v := 1
+	for _, d := range shape {
+		v *= d
+	}
+	return v
+}

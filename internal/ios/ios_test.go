@@ -1,0 +1,290 @@
+package ios
+
+import (
+	"testing"
+
+	"drainnet/internal/gpu"
+	"drainnet/internal/graph"
+)
+
+// sppNetGraph builds the paper's SPP-Net topology with the given pyramid
+// levels and FC width.
+func sppNetGraph(levels []int, fc int) *graph.Graph {
+	g := graph.NewGraph("sppnet", 4, 100, 100)
+	x := g.Conv(g.In, "conv1", 64, 3, 1)
+	x = g.Pool(x, "pool1", 2, 2)
+	x = g.Conv(x, "conv2", 128, 3, 1)
+	x = g.Pool(x, "pool2", 2, 2)
+	x = g.Conv(x, "conv3", 256, 3, 1)
+	x = g.Pool(x, "pool3", 2, 2)
+	var branches []*graph.Node
+	names := []string{"spp_a", "spp_b", "spp_c", "spp_d", "spp_e"}
+	for i, l := range levels {
+		branches = append(branches, g.AdaptivePool(x, names[i], l))
+	}
+	cat := g.Concat(branches, "concat")
+	h := g.FC(cat, "fc1", fc)
+	g.FC(h, "head", 5)
+	return g
+}
+
+func TestSequentialScheduleValid(t *testing.T) {
+	g := sppNetGraph([]int{4, 2, 1}, 1024)
+	s := SequentialSchedule(g)
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Eager {
+		t.Fatal("sequential schedule must be eager")
+	}
+	if s.NumKernels() != len(g.Nodes)-1 {
+		t.Fatalf("kernels = %d, want %d", s.NumKernels(), len(g.Nodes)-1)
+	}
+}
+
+func TestGreedyScheduleValid(t *testing.T) {
+	g := sppNetGraph([]int{4, 2, 1}, 1024)
+	s := GreedySchedule(g)
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// The three SPP branches share one dependency level → one stage must
+	// hold three groups.
+	found := false
+	for _, st := range s.Stages {
+		if len(st.Groups) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("greedy schedule should put the 3 SPP branches in one stage")
+	}
+}
+
+func TestValidateRejectsCrossGroupDeps(t *testing.T) {
+	g := sppNetGraph([]int{2, 1}, 128)
+	var spp1, cat *graph.Node
+	for _, n := range g.Nodes {
+		switch n.Name {
+		case "spp_a":
+			spp1 = n
+		case "concat":
+			cat = n
+		}
+	}
+	// Build an invalid schedule: concat in the same stage as its producer
+	// but a different group.
+	var rest Group
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpInput || n == spp1 || n == cat {
+			continue
+		}
+		rest = append(rest, n)
+	}
+	bad := &Schedule{Stages: []Stage{
+		{Groups: []Group{rest}},
+		{Groups: []Group{{spp1}, {cat}}},
+	}}
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("expected validation error for cross-group same-stage dependency")
+	}
+}
+
+func TestValidateRejectsMissingNode(t *testing.T) {
+	g := sppNetGraph([]int{2, 1}, 128)
+	s := SequentialSchedule(g)
+	s.Stages[0].Groups[0] = s.Stages[0].Groups[0][:len(s.Stages[0].Groups[0])-1]
+	if err := s.Validate(g); err == nil {
+		t.Fatal("expected validation error for missing node")
+	}
+}
+
+func TestOptimizeProducesValidSchedule(t *testing.T) {
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	oracle := NewSimOracle(gpu.RTXA5500())
+	s, err := Optimize(g, oracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumKernels() != len(g.Nodes)-1 {
+		t.Fatalf("optimized schedule kernels = %d, want %d", s.NumKernels(), len(g.Nodes)-1)
+	}
+}
+
+func TestOptimizeParallelizesSPPBranchesAtLargeBatch(t *testing.T) {
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	oracle := NewSimOracle(gpu.RTXA5500())
+	s, err := Optimize(g, oracle, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At batch 64 the SPP kernels are long enough that concurrent groups
+	// win: some stage must hold more than one group.
+	multi := false
+	for _, st := range s.Stages {
+		if len(st.Groups) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatalf("expected a multi-group stage at batch 64:\n%s", s)
+	}
+}
+
+func TestOptimizedBeatsSequentialAllModels(t *testing.T) {
+	// Table 2's core claim: the IOS schedule beats the sequential baseline
+	// for every candidate model at batch 1.
+	dev := gpu.RTXA5500()
+	oracle := NewSimOracle(dev)
+	rt := NewRuntime(dev)
+	configs := []struct {
+		name   string
+		levels []int
+		fc     int
+	}{
+		{"original", []int{4, 2, 1}, 1024},
+		{"sppnet1", []int{4, 2, 1}, 1024}, // conv1 size differs in the real model; same graph topology
+		{"sppnet2", []int{5, 2, 1}, 4096},
+		{"sppnet3", []int{5, 2, 1}, 2048},
+	}
+	for _, c := range configs {
+		g := sppNetGraph(c.levels, c.fc)
+		seq := rt.Measure(g, SequentialSchedule(g), 1)
+		opt, err := Optimize(g, oracle, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optRes := rt.Measure(g, opt, 1)
+		if optRes.LatencyNs >= seq.LatencyNs {
+			t.Fatalf("%s: optimized %.0f ns not faster than sequential %.0f ns", c.name, optRes.LatencyNs, seq.LatencyNs)
+		}
+	}
+}
+
+func TestEfficiencyImprovesWithBatch(t *testing.T) {
+	// Fig 6's shape: per-image latency falls as batch grows, with
+	// diminishing returns.
+	dev := gpu.RTXA5500()
+	oracle := NewSimOracle(dev)
+	rt := NewRuntime(dev)
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	sched, err := Optimize(g, oracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := rt.Measure(g, sched, 1).EfficiencyNsPerImage
+	e8 := rt.Measure(g, sched, 8).EfficiencyNsPerImage
+	e64 := rt.Measure(g, sched, 64).EfficiencyNsPerImage
+	if !(e1 > e8 && e8 > e64) {
+		t.Fatalf("per-image latency must fall with batch: %v > %v > %v", e1, e8, e64)
+	}
+	// Diminishing returns: the 1→8 gain must exceed the 8→64 gain ratio.
+	if e1/e8 < e8/e64 {
+		t.Fatalf("expected diminishing gains: 1→8 %.2fx, 8→64 %.2fx", e1/e8, e8/e64)
+	}
+}
+
+func TestGainShrinksWithBatch(t *testing.T) {
+	// Fig 6: sequential and optimized converge at large batch.
+	dev := gpu.RTXA5500()
+	oracle := NewSimOracle(dev)
+	rt := NewRuntime(dev)
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	gain := func(batch int) float64 {
+		seq := rt.Measure(g, SequentialSchedule(g), batch)
+		opt, err := Optimize(g, oracle, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq.LatencyNs / rt.Measure(g, opt, batch).LatencyNs
+	}
+	g1, g64 := gain(1), gain(64)
+	if g1 <= 1 || g64 <= 1 {
+		t.Fatalf("IOS must win at both batch sizes: %v, %v", g1, g64)
+	}
+	if g64 >= g1 {
+		t.Fatalf("gain should shrink with batch: b1=%.3fx b64=%.3fx", g1, g64)
+	}
+}
+
+func TestOptimizeNotWorseThanGreedy(t *testing.T) {
+	dev := gpu.RTXA5500()
+	oracle := NewSimOracle(dev)
+	rt := NewRuntime(dev)
+	for _, batch := range []int{1, 16, 64} {
+		g := sppNetGraph([]int{5, 2, 1}, 4096)
+		opt, err := Optimize(g, oracle, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optLat := rt.Measure(g, opt, batch).LatencyNs
+		greedyLat := rt.Measure(g, GreedySchedule(g), batch).LatencyNs
+		if optLat > greedyLat*1.001 {
+			t.Fatalf("batch %d: DP schedule %.0f ns worse than greedy %.0f ns", batch, optLat, greedyLat)
+		}
+	}
+}
+
+func TestSimOracleCaches(t *testing.T) {
+	g := sppNetGraph([]int{2, 1}, 128)
+	oracle := NewSimOracle(gpu.RTXA5500())
+	var gr Group
+	for _, n := range g.Nodes {
+		if n.Kind != graph.OpInput {
+			gr = append(gr, n)
+			break
+		}
+	}
+	c1 := oracle.StageCost([]Group{gr}, 4)
+	c2 := oracle.StageCost([]Group{gr}, 4)
+	if c1 != c2 {
+		t.Fatal("oracle must be deterministic")
+	}
+	if len(oracle.cache) != 1 {
+		t.Fatalf("cache size %d, want 1", len(oracle.cache))
+	}
+}
+
+func TestStageGroupsRejectsNonChainComponent(t *testing.T) {
+	// A diamond a→{b,c}→d inside one stage is not a chain.
+	g := graph.NewGraph("diamond", 8, 8, 8)
+	a := g.Conv(g.In, "a", 8, 3, 1)
+	b := g.AdaptivePool(a, "b", 2)
+	c := g.AdaptivePool(a, "c", 1)
+	d := g.Concat([]*graph.Node{b, c}, "d")
+	members := []*graph.Node{a, b, c, d}
+	depMask := []uint32{0, 1, 1, 6}
+	if _, ok := stageGroups(0b1111, 0, members, depMask); ok {
+		t.Fatal("diamond must not be schedulable as one stage")
+	}
+	// But {b, c} alone (a done) is two valid parallel groups.
+	groups, ok := stageGroups(0b0110, 0b0001, members, depMask)
+	if !ok || len(groups) != 2 {
+		t.Fatalf("expected 2 groups for parallel branches, got %v ok=%v", groups, ok)
+	}
+}
+
+func TestScheduleStringListsStages(t *testing.T) {
+	g := sppNetGraph([]int{2, 1}, 128)
+	s := GreedySchedule(g)
+	str := s.String()
+	if len(str) == 0 || str[0] != 's' {
+		t.Fatalf("unexpected String: %q", str)
+	}
+}
+
+func TestRunResultFields(t *testing.T) {
+	dev := gpu.RTXA5500()
+	rt := NewRuntime(dev)
+	g := sppNetGraph([]int{2, 1}, 128)
+	res := rt.Measure(g, SequentialSchedule(g), 4)
+	if res.Batch != 4 || res.Kernels != len(g.Nodes)-1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.EfficiencyNsPerImage*4 != res.LatencyNs {
+		t.Fatal("efficiency must be latency/batch")
+	}
+}

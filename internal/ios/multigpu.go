@@ -1,0 +1,165 @@
+package ios
+
+import (
+	"fmt"
+	"strings"
+
+	"drainnet/internal/gpu"
+	"drainnet/internal/graph"
+)
+
+// This file implements the paper's declared future work (§4.1): operator
+// scheduling across multiple GPUs, in the style of HIOS (Kundu & Shu,
+// IEEE Cluster 2023) — a hierarchical scheduler whose inter-GPU level
+// places operators on devices and whose intra-GPU level orders them per
+// device. The inter-GPU level here is earliest-finish-time list
+// scheduling over the operator DAG with explicit inter-GPU transfer
+// costs; on a single GPU it degenerates to the sequential order the IOS
+// DP then refines.
+
+// MultiGPUConfig describes a simulated multi-GPU node.
+type MultiGPUConfig struct {
+	// GPUs is the device count (≥ 1).
+	GPUs int
+	// Dev is the per-device configuration.
+	Dev gpu.DeviceConfig
+	// LinkGBps is the inter-GPU interconnect bandwidth (NVLink ≈ 25,
+	// PCIe ≈ 8).
+	LinkGBps float64
+	// LinkLatencyNs is the per-transfer latency.
+	LinkLatencyNs float64
+}
+
+// DefaultMultiGPU returns an n-GPU node of RTX A5500s joined by NVLink
+// (the paper's workstation carries the NVLink-capable A5500).
+func DefaultMultiGPU(n int) MultiGPUConfig {
+	return MultiGPUConfig{GPUs: n, Dev: gpu.RTXA5500(), LinkGBps: 25, LinkLatencyNs: 1800}
+}
+
+// Validate checks the configuration.
+func (c MultiGPUConfig) Validate() error {
+	if c.GPUs < 1 {
+		return fmt.Errorf("ios: need ≥ 1 GPU, got %d", c.GPUs)
+	}
+	if c.LinkGBps <= 0 || c.LinkLatencyNs < 0 {
+		return fmt.Errorf("ios: invalid interconnect %+v", c)
+	}
+	return c.Dev.Validate()
+}
+
+// Placement is one operator's device assignment and timing.
+type Placement struct {
+	Node     *graph.Node
+	GPU      int
+	StartNs  float64
+	FinishNs float64
+}
+
+// MultiSchedule is a placed, timed multi-GPU execution plan.
+type MultiSchedule struct {
+	Config     MultiGPUConfig
+	Placements []Placement
+	// MakespanNs is the finish time of the last operator.
+	MakespanNs float64
+	// TransferBytes is the total inter-GPU traffic.
+	TransferBytes int64
+}
+
+// GPUOf returns the device assignment for a node ID (-1 if absent).
+func (m *MultiSchedule) GPUOf(id int) int {
+	for _, p := range m.Placements {
+		if p.Node.ID == id {
+			return p.GPU
+		}
+	}
+	return -1
+}
+
+// String renders the placement per device.
+func (m *MultiSchedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multi-GPU schedule (%d GPUs, makespan %.1f µs, %d transfer bytes):\n",
+		m.Config.GPUs, m.MakespanNs/1e3, m.TransferBytes)
+	for g := 0; g < m.Config.GPUs; g++ {
+		fmt.Fprintf(&b, "  GPU %d:", g)
+		for _, p := range m.Placements {
+			if p.GPU == g {
+				fmt.Fprintf(&b, " %s[%.0f–%.0fµs]", p.Node.Name, p.StartNs/1e3, p.FinishNs/1e3)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// OptimizeMultiGPU places and times the graph's operators across the
+// node's GPUs with earliest-finish-time list scheduling: operators are
+// visited in topological order; each is placed on the device where it
+// finishes first, accounting for device availability, dependency finish
+// times, and inter-GPU transfer costs for cross-device edges.
+func OptimizeMultiGPU(g *graph.Graph, cfg MultiGPUConfig, batch int) (*MultiSchedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	ms := &MultiSchedule{Config: cfg}
+	ready := make([]float64, cfg.GPUs) // device availability
+	finish := make(map[int]float64)    // node ID -> finish time
+	placed := make(map[int]int)        // node ID -> GPU
+
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpInput {
+			finish[n.ID] = 0
+			placed[n.ID] = 0
+			continue
+		}
+		dur := cfg.Dev.Cost(n, batch).SoloNs + cfg.Dev.KernelLaunchCPUNs
+		bestGPU, bestStart, bestFinish := -1, 0.0, 0.0
+		for dev := 0; dev < cfg.GPUs; dev++ {
+			start := ready[dev]
+			for _, in := range n.Inputs {
+				// The input batch is resident on GPU 0; every cross-device
+				// edge (including reads of the input) pays a transfer.
+				avail := finish[in.ID]
+				if placed[in.ID] != dev {
+					bytes := float64(in.BytesOutPerSample()) * float64(batch)
+					avail += cfg.LinkLatencyNs + bytes/cfg.LinkGBps
+				}
+				if avail > start {
+					start = avail
+				}
+			}
+			if bestGPU < 0 || start+dur < bestFinish {
+				bestGPU, bestStart, bestFinish = dev, start, start+dur
+			}
+		}
+		// Account transfers actually incurred by the chosen placement.
+		for _, in := range n.Inputs {
+			if placed[in.ID] != bestGPU {
+				ms.TransferBytes += in.BytesOutPerSample() * int64(batch)
+			}
+		}
+		placed[n.ID] = bestGPU
+		finish[n.ID] = bestFinish
+		ready[bestGPU] = bestFinish
+		ms.Placements = append(ms.Placements, Placement{Node: n, GPU: bestGPU, StartNs: bestStart, FinishNs: bestFinish})
+		if bestFinish > ms.MakespanNs {
+			ms.MakespanNs = bestFinish
+		}
+	}
+	return ms, nil
+}
+
+// SingleGPUMakespan returns the makespan of the same EFT model restricted
+// to one device — the baseline a multi-GPU placement must beat.
+func SingleGPUMakespan(g *graph.Graph, cfg MultiGPUConfig, batch int) (float64, error) {
+	one := cfg
+	one.GPUs = 1
+	ms, err := OptimizeMultiGPU(g, one, batch)
+	if err != nil {
+		return 0, err
+	}
+	return ms.MakespanNs, nil
+}

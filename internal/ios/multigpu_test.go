@@ -1,0 +1,177 @@
+package ios
+
+import (
+	"testing"
+
+	"drainnet/internal/graph"
+)
+
+// ensembleGraph builds a wide DAG: k independent conv towers from one
+// input, concatenated — the branch-parallel structure HIOS targets.
+func ensembleGraph(towers int) *graph.Graph {
+	g := graph.NewGraph("ensemble", 4, 100, 100)
+	var heads []*graph.Node
+	for i := 0; i < towers; i++ {
+		x := g.Conv(g.In, name("t", i, "conv1"), 64, 3, 1)
+		x = g.Pool(x, name("t", i, "pool1"), 2, 2)
+		x = g.Conv(x, name("t", i, "conv2"), 128, 3, 1)
+		x = g.AdaptivePool(x, name("t", i, "gap"), 1)
+		heads = append(heads, x)
+	}
+	g.Concat(heads, "merge")
+	return g
+}
+
+func name(p string, i int, s string) string {
+	return p + string(rune('0'+i)) + "_" + s
+}
+
+func TestMultiGPUValidation(t *testing.T) {
+	if _, err := OptimizeMultiGPU(ensembleGraph(2), MultiGPUConfig{GPUs: 0}, 1); err == nil {
+		t.Fatal("expected error for zero GPUs")
+	}
+	cfg := DefaultMultiGPU(2)
+	cfg.LinkGBps = 0
+	if _, err := OptimizeMultiGPU(ensembleGraph(2), cfg, 1); err == nil {
+		t.Fatal("expected error for zero-bandwidth link")
+	}
+}
+
+func TestMultiGPUPlacesEveryOperator(t *testing.T) {
+	g := ensembleGraph(3)
+	ms, err := OptimizeMultiGPU(g, DefaultMultiGPU(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Placements) != len(g.Nodes)-1 {
+		t.Fatalf("placed %d of %d operators", len(ms.Placements), len(g.Nodes)-1)
+	}
+	for _, p := range ms.Placements {
+		if p.GPU < 0 || p.GPU >= 2 {
+			t.Fatalf("node %q on invalid GPU %d", p.Node.Name, p.GPU)
+		}
+		if p.FinishNs <= p.StartNs {
+			t.Fatalf("node %q has non-positive duration", p.Node.Name)
+		}
+	}
+}
+
+func TestMultiGPURespectsDependencies(t *testing.T) {
+	g := ensembleGraph(2)
+	cfg := DefaultMultiGPU(3)
+	ms, err := OptimizeMultiGPU(g, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish := map[int]Placement{}
+	for _, p := range ms.Placements {
+		finish[p.Node.ID] = p
+	}
+	for _, p := range ms.Placements {
+		for _, in := range p.Node.Inputs {
+			if in.Kind == graph.OpInput {
+				continue
+			}
+			dep := finish[in.ID]
+			min := dep.FinishNs
+			if dep.GPU != p.GPU {
+				min += cfg.LinkLatencyNs // at least the link latency
+			}
+			if p.StartNs < min-1e-6 {
+				t.Fatalf("node %q starts at %v before dependency %q is available at %v",
+					p.Node.Name, p.StartNs, in.Name, min)
+			}
+		}
+	}
+}
+
+func TestMultiGPUSpeedsUpWideGraphs(t *testing.T) {
+	// Four independent towers at a compute-heavy batch: two GPUs must
+	// meaningfully beat one.
+	g := ensembleGraph(4)
+	cfg := DefaultMultiGPU(2)
+	single, err := SingleGPUMakespan(g, cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OptimizeMultiGPU(g, cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MakespanNs >= single*0.7 {
+		t.Fatalf("2 GPUs gave only %.2fx on a 4-tower graph", single/ms.MakespanNs)
+	}
+}
+
+func TestMultiGPUNoWorseOnLinearChain(t *testing.T) {
+	// A purely linear model cannot benefit, and EFT must not regress it
+	// by bouncing operators across devices.
+	g := graph.NewGraph("chain", 4, 100, 100)
+	x := g.Conv(g.In, "c1", 64, 3, 1)
+	x = g.Pool(x, "p1", 2, 2)
+	x = g.Conv(x, "c2", 128, 3, 1)
+	g.FC(x, "fc", 256)
+	cfg := DefaultMultiGPU(4)
+	single, err := SingleGPUMakespan(g, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OptimizeMultiGPU(g, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MakespanNs > single*1.001 {
+		t.Fatalf("multi-GPU regressed a linear chain: %v vs %v", ms.MakespanNs, single)
+	}
+	if ms.TransferBytes != 0 {
+		t.Fatalf("linear chain should not incur transfers, got %d bytes", ms.TransferBytes)
+	}
+}
+
+func TestMultiGPUSlowLinkCollapsesToOneDevice(t *testing.T) {
+	// With a pathologically slow interconnect, EFT should keep everything
+	// on one device rather than pay transfer costs.
+	g := ensembleGraph(3)
+	cfg := DefaultMultiGPU(2)
+	cfg.LinkGBps = 0.0001
+	cfg.LinkLatencyNs = 5e7
+	ms, err := OptimizeMultiGPU(g, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.TransferBytes != 0 {
+		t.Fatalf("slow link should suppress transfers, got %d bytes", ms.TransferBytes)
+	}
+}
+
+func TestMultiGPUSPPNetModest(t *testing.T) {
+	// SPP-Net is mostly a linear chain: extra GPUs must not hurt, and the
+	// gain should be modest (documenting the honest expectation).
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	cfg := DefaultMultiGPU(2)
+	single, err := SingleGPUMakespan(g, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OptimizeMultiGPU(g, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.MakespanNs > single*1.001 {
+		t.Fatalf("2 GPUs regressed SPP-Net: %v vs %v", ms.MakespanNs, single)
+	}
+}
+
+func TestMultiScheduleString(t *testing.T) {
+	ms, err := OptimizeMultiGPU(ensembleGraph(2), DefaultMultiGPU(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ms.String()
+	if len(s) == 0 || ms.GPUOf(1) < 0 {
+		t.Fatal("render or lookup failed")
+	}
+	if ms.GPUOf(9999) != -1 {
+		t.Fatal("missing node must map to -1")
+	}
+}

@@ -1,0 +1,152 @@
+package ios
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/gpu"
+	"drainnet/internal/graph"
+)
+
+// randomDAG builds a random but well-formed CNN-shaped graph: a conv/pool
+// backbone with random fan-out regions of adaptive-pool branches that
+// reconverge through concats, followed by an FC chain. This is the graph
+// family IOS must schedule correctly for any topology.
+func randomDAG(rng *rand.Rand) *graph.Graph {
+	g := graph.NewGraph("random", 4, 64, 64)
+	x := g.In
+	chID := 0
+	channels := 8 << rng.Intn(2)
+	segments := 1 + rng.Intn(3)
+	for s := 0; s < segments; s++ {
+		// Backbone segment.
+		convs := 1 + rng.Intn(2)
+		for i := 0; i < convs; i++ {
+			chID++
+			x = g.Conv(x, fmt.Sprintf("conv%d", chID), channels, 3, 1)
+		}
+		if x.OutShape[1] >= 8 && rng.Intn(2) == 0 {
+			chID++
+			x = g.Pool(x, fmt.Sprintf("pool%d", chID), 2, 2)
+		}
+		// Optional branch region.
+		if rng.Intn(2) == 0 {
+			branches := 2 + rng.Intn(3)
+			var heads []*graph.Node
+			for b := 0; b < branches; b++ {
+				level := 1 + rng.Intn(4)
+				if level > x.OutShape[1] {
+					level = x.OutShape[1]
+				}
+				chID++
+				heads = append(heads, g.AdaptivePool(x, fmt.Sprintf("ap%d", chID), level))
+			}
+			chID++
+			cat := g.Concat(heads, fmt.Sprintf("cat%d", chID))
+			chID++
+			fc := g.FC(cat, fmt.Sprintf("fc%d", chID), 64+rng.Intn(256))
+			if s == segments-1 || rng.Intn(2) == 0 {
+				// Terminate through the FC chain.
+				chID++
+				g.FC(fc, fmt.Sprintf("head%d", chID), 5)
+				return g
+			}
+			// Otherwise the backbone continues from x (the fc branch would
+			// dangle, which Validate rejects) — so terminate here instead.
+			chID++
+			g.FC(fc, fmt.Sprintf("head%d", chID), 5)
+			return g
+		}
+	}
+	chID++
+	ap := g.AdaptivePool(x, fmt.Sprintf("gap%d", chID), 1)
+	chID++
+	g.FC(ap, fmt.Sprintf("head%d", chID), 5)
+	return g
+}
+
+// TestPropOptimizeValidOnRandomDAGs: for random graph topologies and
+// batch sizes, the IOS optimizer must always emit a valid schedule that
+// covers every operator exactly once, and it must never lose to the
+// greedy baseline by more than cost-model noise.
+func TestPropOptimizeValidOnRandomDAGs(t *testing.T) {
+	dev := gpu.RTXA5500()
+	rt := NewRuntime(dev)
+	batches := []int{1, 4, 32}
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		g := randomDAG(rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: generator built invalid graph: %v", trial, err)
+		}
+		batch := batches[trial%len(batches)]
+		oracle := NewSimOracle(dev)
+		sched, err := Optimize(g, oracle, batch)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		if err := sched.Validate(g); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v\n%s\n%s", trial, err, g, sched)
+		}
+		if sched.NumKernels() != len(g.Nodes)-1 {
+			t.Fatalf("trial %d: %d kernels for %d operators", trial, sched.NumKernels(), len(g.Nodes)-1)
+		}
+		opt := rt.Measure(g, sched, batch).LatencyNs
+		greedy := rt.Measure(g, GreedySchedule(g), batch).LatencyNs
+		if opt > greedy*1.03 {
+			t.Fatalf("trial %d (batch %d): IOS %.0f ns lost to greedy %.0f ns\n%s",
+				trial, batch, opt, greedy, sched)
+		}
+	}
+}
+
+// TestPropSequentialAlwaysValid: the baselines must be valid on the same
+// random family.
+func TestPropBaselinesValidOnRandomDAGs(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		g := randomDAG(rng)
+		if err := SequentialSchedule(g).Validate(g); err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		if err := GreedySchedule(g).Validate(g); err != nil {
+			t.Fatalf("trial %d greedy: %v", trial, err)
+		}
+	}
+}
+
+// TestPropMultiGPUValidOnRandomDAGs: EFT placement must respect all
+// dependency and transfer constraints on random topologies.
+func TestPropMultiGPUValidOnRandomDAGs(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		g := randomDAG(rng)
+		cfg := DefaultMultiGPU(1 + rng.Intn(4))
+		batch := 1 << rng.Intn(6)
+		ms, err := OptimizeMultiGPU(g, cfg, batch)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(ms.Placements) != len(g.Nodes)-1 {
+			t.Fatalf("trial %d: placed %d of %d", trial, len(ms.Placements), len(g.Nodes)-1)
+		}
+		finish := map[int]Placement{}
+		for _, p := range ms.Placements {
+			finish[p.Node.ID] = p
+		}
+		for _, p := range ms.Placements {
+			for _, in := range p.Node.Inputs {
+				if in.Kind == graph.OpInput {
+					continue
+				}
+				if p.StartNs < finish[in.ID].FinishNs-1e-6 {
+					t.Fatalf("trial %d: %q starts before dependency %q finishes", trial, p.Node.Name, in.Name)
+				}
+			}
+			if p.FinishNs > ms.MakespanNs+1e-6 {
+				t.Fatalf("trial %d: makespan %v below finish %v", trial, ms.MakespanNs, p.FinishNs)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package ios
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"drainnet/internal/graph"
+)
+
+// scheduleJSON is the serialized schedule format: stages of groups of
+// node IDs, resolved against a graph at load time (as the IOS artifact
+// stores its optimized schedules).
+type scheduleJSON struct {
+	Name   string    `json:"name"`
+	Eager  bool      `json:"eager,omitempty"`
+	Stages [][][]int `json:"stages"` // stage -> group -> node IDs
+}
+
+// SaveSchedule writes the schedule as JSON.
+func SaveSchedule(w io.Writer, s *Schedule) error {
+	sj := scheduleJSON{Name: s.Name, Eager: s.Eager}
+	for _, st := range s.Stages {
+		var groups [][]int
+		for _, gr := range st.Groups {
+			var ids []int
+			for _, n := range gr {
+				ids = append(ids, n.ID)
+			}
+			groups = append(groups, ids)
+		}
+		sj.Stages = append(sj.Stages, groups)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}
+
+// LoadSchedule reads a schedule saved by SaveSchedule and resolves its
+// node IDs against g, validating the result.
+func LoadSchedule(r io.Reader, g *graph.Graph) (*Schedule, error) {
+	var sj scheduleJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("ios: decode schedule: %w", err)
+	}
+	s := &Schedule{Name: sj.Name, Eager: sj.Eager}
+	for si, groups := range sj.Stages {
+		var stage Stage
+		for gi, ids := range groups {
+			var gr Group
+			for _, id := range ids {
+				if id < 0 || id >= len(g.Nodes) {
+					return nil, fmt.Errorf("ios: schedule stage %d group %d references node %d outside graph %q", si, gi, id, g.Name)
+				}
+				gr = append(gr, g.Nodes[id])
+			}
+			stage.Groups = append(stage.Groups, gr)
+		}
+		s.Stages = append(s.Stages, stage)
+	}
+	if err := s.Validate(g); err != nil {
+		return nil, fmt.Errorf("ios: loaded schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,60 @@
+package ios
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drainnet/internal/gpu"
+)
+
+func TestScheduleSaveLoadRoundTrip(t *testing.T) {
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	sched, err := Optimize(g, NewSimOracle(gpu.RTXA5500()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSchedule(&buf, sched); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSchedule(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != sched.String() {
+		t.Fatalf("round trip changed schedule:\n%s\nvs\n%s", got, sched)
+	}
+}
+
+func TestLoadScheduleRejectsWrongGraph(t *testing.T) {
+	g := sppNetGraph([]int{5, 2, 1}, 4096)
+	sched, err := Optimize(g, NewSimOracle(gpu.RTXA5500()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSchedule(&buf, sched); err != nil {
+		t.Fatal(err)
+	}
+	// A graph with fewer nodes: IDs resolve to different/missing nodes.
+	small := sppNetGraph([]int{2, 1}, 128)
+	if _, err := LoadSchedule(&buf, small); err == nil {
+		t.Fatal("expected error resolving against a mismatched graph")
+	}
+}
+
+func TestLoadScheduleGarbage(t *testing.T) {
+	g := sppNetGraph([]int{2, 1}, 128)
+	if _, err := LoadSchedule(strings.NewReader("not json"), g); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadScheduleOutOfRangeID(t *testing.T) {
+	g := sppNetGraph([]int{2, 1}, 128)
+	js := `{"name":"x","stages":[[[999]]]}`
+	if _, err := LoadSchedule(strings.NewReader(js), g); err == nil {
+		t.Fatal("expected error for out-of-range node ID")
+	}
+}

@@ -1,0 +1,85 @@
+package metrics
+
+// MeanAP computes COCO-style mAP: the mean of AP over a range of IoU
+// thresholds (use COCOThresholds for the standard 0.50:0.05:0.95 set).
+func MeanAP(dets []Detection, gts []GroundTruth, thresholds []float64) float64 {
+	if len(thresholds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, th := range thresholds {
+		sum += Evaluate(dets, gts, th).AP
+	}
+	return sum / float64(len(thresholds))
+}
+
+// COCOThresholds returns the standard 0.50:0.05:0.95 IoU grid.
+func COCOThresholds() []float64 {
+	var ths []float64
+	for th := 0.50; th < 0.96; th += 0.05 {
+		ths = append(ths, th)
+	}
+	return ths
+}
+
+// ConfusionCounts tallies thresholded objectness decisions.
+type ConfusionCounts struct {
+	TP, FP, TN, FN int
+}
+
+// Confusion computes the confusion counts at a score threshold
+// (classification only — boxes are ignored).
+func Confusion(dets []Detection, gts []GroundTruth, threshold float64) ConfusionCounts {
+	var c ConfusionCounts
+	for i, d := range dets {
+		pred := d.Score >= threshold
+		switch {
+		case pred && gts[i].HasObject:
+			c.TP++
+		case pred && !gts[i].HasObject:
+			c.FP++
+		case !pred && !gts[i].HasObject:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c ConfusionCounts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c ConfusionCounts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c ConfusionCounts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// BestF1 sweeps every detection score as a threshold and returns the
+// maximum F1 with its threshold.
+func BestF1(dets []Detection, gts []GroundTruth) (f1, threshold float64) {
+	for _, d := range dets {
+		c := Confusion(dets, gts, d.Score)
+		if v := c.F1(); v > f1 {
+			f1, threshold = v, d.Score
+		}
+	}
+	return f1, threshold
+}

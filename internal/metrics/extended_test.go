@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func perfectSet() ([]Detection, []GroundTruth) {
+	b := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	dets := []Detection{
+		{Score: 0.9, Box: b},
+		{Score: 0.1, Box: Box{CX: 0.1, CY: 0.1, W: 0.05, H: 0.05}},
+	}
+	gts := []GroundTruth{
+		{HasObject: true, Box: b},
+		{HasObject: false},
+	}
+	return dets, gts
+}
+
+func TestCOCOThresholds(t *testing.T) {
+	ths := COCOThresholds()
+	if len(ths) != 10 {
+		t.Fatalf("thresholds = %d, want 10", len(ths))
+	}
+	if math.Abs(ths[0]-0.50) > 1e-9 || math.Abs(ths[9]-0.95) > 1e-9 {
+		t.Fatalf("range wrong: %v", ths)
+	}
+}
+
+func TestMeanAPPerfect(t *testing.T) {
+	dets, gts := perfectSet()
+	if got := MeanAP(dets, gts, COCOThresholds()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect mAP = %v", got)
+	}
+	if MeanAP(dets, gts, nil) != 0 {
+		t.Fatal("empty thresholds must give 0")
+	}
+}
+
+func TestMeanAPBetweenThresholds(t *testing.T) {
+	// A box with IoU ≈ 0.68 passes thresholds up to 0.65 and fails above.
+	gt := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	pred := Box{CX: 0.52, CY: 0.5, W: 0.2, H: 0.2}
+	iou := IoU(pred, gt)
+	dets := []Detection{{Score: 0.9, Box: pred}}
+	gts := []GroundTruth{{HasObject: true, Box: gt}}
+	passing := 0
+	for _, th := range COCOThresholds() {
+		if iou >= th {
+			passing++
+		}
+	}
+	want := float64(passing) / 10
+	if got := MeanAP(dets, gts, COCOThresholds()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mAP = %v, want %v (IoU %v)", got, want, iou)
+	}
+}
+
+func TestConfusionCounts(t *testing.T) {
+	dets := []Detection{{Score: 0.9}, {Score: 0.8}, {Score: 0.2}, {Score: 0.1}}
+	gts := []GroundTruth{
+		{HasObject: true},  // TP at 0.5
+		{HasObject: false}, // FP
+		{HasObject: true},  // FN
+		{HasObject: false}, // TN
+	}
+	c := Confusion(dets, gts, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 {
+		t.Fatalf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+	if math.Abs(c.F1()-0.5) > 1e-12 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c ConfusionCounts
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must be all zeros")
+	}
+}
+
+func TestBestF1(t *testing.T) {
+	// Scores separate classes perfectly at threshold 0.6.
+	dets := []Detection{{Score: 0.9}, {Score: 0.8}, {Score: 0.3}, {Score: 0.2}}
+	gts := []GroundTruth{
+		{HasObject: true}, {HasObject: true},
+		{HasObject: false}, {HasObject: false},
+	}
+	f1, th := BestF1(dets, gts)
+	if f1 != 1 {
+		t.Fatalf("best F1 = %v, want 1", f1)
+	}
+	if th < 0.3+1e-12 || th > 0.8+1e-12 {
+		t.Fatalf("threshold = %v", th)
+	}
+}

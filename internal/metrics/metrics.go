@@ -1,0 +1,141 @@
+// Package metrics implements the detection-quality measures the paper
+// reports: intersection-over-union, precision/recall, and average
+// precision (AP, the paper's Equation 1), plus simple classification
+// accuracy for the baseline comparison.
+package metrics
+
+import "sort"
+
+// Box is an axis-aligned box in normalized [0,1] image coordinates,
+// center-size parameterization.
+type Box struct {
+	CX, CY, W, H float64
+}
+
+// IoU returns the intersection-over-union of two boxes.
+func IoU(a, b Box) float64 {
+	ax0, ay0, ax1, ay1 := a.CX-a.W/2, a.CY-a.H/2, a.CX+a.W/2, a.CY+a.H/2
+	bx0, by0, bx1, by1 := b.CX-b.W/2, b.CY-b.H/2, b.CX+b.W/2, b.CY+b.H/2
+	ix0, iy0 := max(ax0, bx0), max(ay0, by0)
+	ix1, iy1 := min(ax1, bx1), min(ay1, by1)
+	iw, ih := ix1-ix0, iy1-iy0
+	if iw <= 0 || ih <= 0 {
+		return 0
+	}
+	inter := iw * ih
+	union := a.W*a.H + b.W*b.H - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Detection is one model output for a sample: a confidence and a box.
+type Detection struct {
+	Score float64
+	Box   Box
+}
+
+// GroundTruth is the supervision for a sample.
+type GroundTruth struct {
+	HasObject bool
+	Box       Box
+}
+
+// PRPoint is one precision/recall operating point.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// Evaluation is the result of scoring a detection set.
+type Evaluation struct {
+	AP        float64
+	MeanIoU   float64 // over matched true positives
+	Curve     []PRPoint
+	Positives int
+}
+
+// Evaluate ranks detections by score and computes AP at the given IoU
+// threshold, per the paper's Eq. 1: AP = Σ_i (R_i − R_{i−1}) · P_i over
+// the ranked list. Each sample holds at most one object and yields one
+// detection; a detection is a true positive when its sample has an object
+// and the predicted box reaches the IoU threshold.
+func Evaluate(dets []Detection, gts []GroundTruth, iouThresh float64) Evaluation {
+	if len(dets) != len(gts) {
+		panic("metrics: detections and ground truths must be parallel slices")
+	}
+	order := make([]int, len(dets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dets[order[a]].Score > dets[order[b]].Score })
+
+	totalPos := 0
+	for _, gt := range gts {
+		if gt.HasObject {
+			totalPos++
+		}
+	}
+	ev := Evaluation{Positives: totalPos}
+	if totalPos == 0 {
+		return ev
+	}
+
+	tp, fp := 0, 0
+	var iouSum float64
+	prevRecall := 0.0
+	for _, i := range order {
+		gt := gts[i]
+		matched := gt.HasObject && IoU(dets[i].Box, gt.Box) >= iouThresh
+		if matched {
+			tp++
+			iouSum += IoU(dets[i].Box, gt.Box)
+		} else {
+			fp++
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(totalPos)
+		ev.Curve = append(ev.Curve, PRPoint{Threshold: dets[i].Score, Precision: precision, Recall: recall})
+		if matched {
+			ev.AP += (recall - prevRecall) * precision
+			prevRecall = recall
+		}
+	}
+	if tp > 0 {
+		ev.MeanIoU = iouSum / float64(tp)
+	}
+	return ev
+}
+
+// Accuracy returns the fraction of samples whose thresholded objectness
+// matches the ground truth (used for the Faster-R-CNN-style baseline
+// comparison in §8.1).
+func Accuracy(dets []Detection, gts []GroundTruth, threshold float64) float64 {
+	if len(dets) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, d := range dets {
+		pred := d.Score >= threshold
+		if pred == gts[i].HasObject {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(dets))
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

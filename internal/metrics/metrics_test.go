@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIoUIdentical(t *testing.T) {
+	b := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	if got := IoU(b, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("IoU(self) = %v, want 1", got)
+	}
+}
+
+func TestIoUDisjoint(t *testing.T) {
+	a := Box{CX: 0.2, CY: 0.2, W: 0.1, H: 0.1}
+	b := Box{CX: 0.8, CY: 0.8, W: 0.1, H: 0.1}
+	if got := IoU(a, b); got != 0 {
+		t.Fatalf("disjoint IoU = %v, want 0", got)
+	}
+}
+
+func TestIoUHalfOverlap(t *testing.T) {
+	a := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	b := Box{CX: 0.6, CY: 0.5, W: 0.2, H: 0.2} // half-shifted horizontally
+	// intersection = 0.1*0.2 = 0.02; union = 2*0.04 - 0.02 = 0.06
+	if got := IoU(a, b); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("IoU = %v, want 1/3", got)
+	}
+}
+
+func TestIoUDegenerate(t *testing.T) {
+	a := Box{CX: 0.5, CY: 0.5, W: 0, H: 0}
+	b := Box{CX: 0.5, CY: 0.5, W: 0.1, H: 0.1}
+	if got := IoU(a, b); got != 0 {
+		t.Fatalf("degenerate IoU = %v, want 0", got)
+	}
+}
+
+// Property: IoU is symmetric and in [0,1].
+func TestPropIoUSymmetricBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a := Box{CX: rng.Float64(), CY: rng.Float64(), W: rng.Float64() * 0.5, H: rng.Float64() * 0.5}
+		b := Box{CX: rng.Float64(), CY: rng.Float64(), W: rng.Float64() * 0.5, H: rng.Float64() * 0.5}
+		x, y := IoU(a, b), IoU(b, a)
+		return x == y && x >= 0 && x <= 1+1e-12
+	}
+	if err := quick.Check(func(int) bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatePerfectDetector(t *testing.T) {
+	gt := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	dets := []Detection{
+		{Score: 0.9, Box: gt},
+		{Score: 0.1, Box: Box{CX: 0.1, CY: 0.1, W: 0.05, H: 0.05}},
+	}
+	gts := []GroundTruth{
+		{HasObject: true, Box: gt},
+		{HasObject: false},
+	}
+	ev := Evaluate(dets, gts, 0.5)
+	if math.Abs(ev.AP-1) > 1e-12 {
+		t.Fatalf("perfect AP = %v, want 1", ev.AP)
+	}
+	if math.Abs(ev.MeanIoU-1) > 1e-12 {
+		t.Fatalf("perfect mean IoU = %v, want 1", ev.MeanIoU)
+	}
+}
+
+func TestEvaluateWorstDetector(t *testing.T) {
+	// Confident detection on the background sample, timid on the object.
+	gt := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	dets := []Detection{
+		{Score: 0.1, Box: Box{CX: 0.9, CY: 0.9, W: 0.2, H: 0.2}}, // misses object
+		{Score: 0.9, Box: gt},
+	}
+	gts := []GroundTruth{
+		{HasObject: true, Box: gt},
+		{HasObject: false},
+	}
+	ev := Evaluate(dets, gts, 0.5)
+	if ev.AP != 0 {
+		t.Fatalf("AP = %v, want 0 (box misses)", ev.AP)
+	}
+}
+
+func TestEvaluateHalfRanked(t *testing.T) {
+	// Two positives, one ranked above a false positive, one below:
+	// ranked: TP (P=1, R=0.5), FP (P=2/3), TP (P=3/4? no: tp=2,fp=1 → 2/3, R=1)
+	// AP = 0.5*1 + 0.5*(2/3) = 0.8333…
+	b := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	dets := []Detection{
+		{Score: 0.9, Box: b},
+		{Score: 0.7, Box: Box{CX: 0.1, CY: 0.1, W: 0.2, H: 0.2}},
+		{Score: 0.5, Box: b},
+	}
+	gts := []GroundTruth{
+		{HasObject: true, Box: b},
+		{HasObject: false},
+		{HasObject: true, Box: b},
+	}
+	ev := Evaluate(dets, gts, 0.5)
+	want := 0.5*1 + 0.5*(2.0/3)
+	if math.Abs(ev.AP-want) > 1e-9 {
+		t.Fatalf("AP = %v, want %v", ev.AP, want)
+	}
+}
+
+func TestEvaluateIoUThresholdMatters(t *testing.T) {
+	gt := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+	shifted := Box{CX: 0.6, CY: 0.5, W: 0.2, H: 0.2} // IoU = 1/3
+	dets := []Detection{{Score: 0.9, Box: shifted}}
+	gts := []GroundTruth{{HasObject: true, Box: gt}}
+	if ev := Evaluate(dets, gts, 0.5); ev.AP != 0 {
+		t.Fatalf("AP@0.5 = %v, want 0", ev.AP)
+	}
+	if ev := Evaluate(dets, gts, 0.3); ev.AP != 1 {
+		t.Fatalf("AP@0.3 = %v, want 1", ev.AP)
+	}
+}
+
+func TestEvaluateNoPositives(t *testing.T) {
+	dets := []Detection{{Score: 0.9}}
+	gts := []GroundTruth{{HasObject: false}}
+	ev := Evaluate(dets, gts, 0.5)
+	if ev.AP != 0 || ev.Positives != 0 {
+		t.Fatalf("empty-positive evaluation wrong: %+v", ev)
+	}
+}
+
+func TestEvaluateMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate([]Detection{{}}, nil, 0.5)
+}
+
+// Property: AP is in [0,1] and equals 1 when every positive is detected
+// perfectly and scored above every negative.
+func TestPropAPBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		dets := make([]Detection, n)
+		gts := make([]GroundTruth, n)
+		for i := range dets {
+			hasObj := rng.Float64() < 0.5
+			box := Box{CX: rng.Float64(), CY: rng.Float64(), W: 0.1 + rng.Float64()*0.2, H: 0.1 + rng.Float64()*0.2}
+			gts[i] = GroundTruth{HasObject: hasObj, Box: box}
+			pred := box
+			if rng.Float64() < 0.3 {
+				pred.CX += rng.Float64() * 0.5
+			}
+			dets[i] = Detection{Score: rng.Float64(), Box: pred}
+		}
+		ev := Evaluate(dets, gts, 0.5)
+		if ev.AP < 0 || ev.AP > 1+1e-9 {
+			t.Fatalf("AP out of bounds: %v", ev.AP)
+		}
+	}
+}
+
+func TestPRCurveMonotoneRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	dets := make([]Detection, n)
+	gts := make([]GroundTruth, n)
+	for i := range dets {
+		box := Box{CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+		gts[i] = GroundTruth{HasObject: i%2 == 0, Box: box}
+		dets[i] = Detection{Score: rng.Float64(), Box: box}
+	}
+	ev := Evaluate(dets, gts, 0.5)
+	prev := -1.0
+	for _, p := range ev.Curve {
+		if p.Recall < prev {
+			t.Fatal("recall must be non-decreasing down the ranked list")
+		}
+		prev = p.Recall
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	dets := []Detection{{Score: 0.9}, {Score: 0.2}, {Score: 0.8}, {Score: 0.4}}
+	gts := []GroundTruth{{HasObject: true}, {HasObject: false}, {HasObject: false}, {HasObject: true}}
+	// threshold 0.7: preds T,F,T,F → correct: 1st (T/T), 2nd (F/F) → 0.5
+	if got := Accuracy(dets, gts, 0.7); got != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5", got)
+	}
+	if got := Accuracy(nil, nil, 0.5); got != 0 {
+		t.Fatalf("empty accuracy = %v", got)
+	}
+}

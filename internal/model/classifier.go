@@ -1,0 +1,43 @@
+package model
+
+import (
+	"math/rand"
+
+	"drainnet/internal/nn"
+)
+
+// BuildClassifier constructs the classification variant of the
+// architecture: the same SPP-Net backbone with a K-way softmax head
+// instead of the detection head. This is the formulation of the paper's
+// predecessor work (Wu et al. 2023), which classifies whether a clip
+// contains a drainage crossing.
+func (c Config) BuildClassifier(rng *rand.Rand, classes int) (*nn.Sequential, error) {
+	head := c
+	head.HeadOut = classes
+	if err := head.Validate(); err != nil {
+		// Validate requires HeadOut ≥ 5 for the detection head; rebuild the
+		// check for a classifier by validating with the detection head size
+		// and then swapping the final layer width.
+		head.HeadOut = 5
+		if err := head.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	net := nn.NewSequential()
+	inC := c.InBands
+	for _, cv := range c.Convs {
+		f := c.filters(cv.Filters)
+		net.Add(nn.NewConv2D(rng, inC, f, cv.Kernel, cv.Stride))
+		net.Add(nn.NewReLU())
+		if cv.PoolSize > 0 {
+			net.Add(nn.NewMaxPool2D(cv.PoolSize, cv.PoolStride))
+		}
+		inC = f
+	}
+	net.Add(nn.NewSPP(c.SPPLevels...))
+	fcw := c.filters(c.FCWidth)
+	net.Add(nn.NewLinear(rng, c.SPPFeatures(), fcw))
+	net.Add(nn.NewReLU())
+	net.Add(nn.NewLinear(rng, fcw, classes))
+	return net, nil
+}

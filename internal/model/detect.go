@@ -1,0 +1,56 @@
+package model
+
+import (
+	"math"
+
+	"drainnet/internal/metrics"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+// Detect runs the network on a batch (N×C×H×W) and decodes the 5-way head
+// output into detections: sigmoid(objectness logit) as the score and the
+// raw regressed box, clamped to the unit square.
+func Detect(net *nn.Sequential, x *tensor.Tensor) []metrics.Detection {
+	out := net.Forward(x)
+	n := out.Dim(0)
+	dets := make([]metrics.Detection, n)
+	for i := 0; i < n; i++ {
+		score := 1 / (1 + math.Exp(-float64(out.At(i, 0))))
+		dets[i] = metrics.Detection{
+			Score: score,
+			Box: metrics.Box{
+				CX: clamp01(float64(out.At(i, 1))),
+				CY: clamp01(float64(out.At(i, 2))),
+				W:  clamp01(float64(out.At(i, 3))),
+				H:  clamp01(float64(out.At(i, 4))),
+			},
+		}
+	}
+	return dets
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TargetsToGroundTruth converts supervision targets to the metrics form.
+func TargetsToGroundTruth(targets []nn.DetectionTarget) []metrics.GroundTruth {
+	gts := make([]metrics.GroundTruth, len(targets))
+	for i, t := range targets {
+		gts[i] = metrics.GroundTruth{
+			HasObject: t.HasObject,
+			Box: metrics.Box{
+				CX: float64(t.CX), CY: float64(t.CY),
+				W: float64(t.W), H: float64(t.H),
+			},
+		}
+	}
+	return gts
+}

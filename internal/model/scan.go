@@ -1,0 +1,169 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"drainnet/internal/hydro"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+// ScanConfig controls raster scanning with a trained detector.
+type ScanConfig struct {
+	// Window is the sliding-window side length in cells (the training
+	// clip size).
+	Window int
+	// Stride is the window step; smaller = denser coverage, more compute.
+	Stride int
+	// MinScore keeps only confident detections.
+	MinScore float64
+	// MergeRadius collapses detections within this many cells of a
+	// higher-scoring one (non-maximum suppression).
+	MergeRadius int
+	// Batch is how many windows are inferred per forward pass.
+	Batch int
+}
+
+// DefaultScanConfig scans with half-window stride at a high confidence
+// cut, merging within a third of the window.
+func DefaultScanConfig(window int) ScanConfig {
+	return ScanConfig{
+		Window:      window,
+		Stride:      window / 4,
+		MinScore:    0.95,
+		MergeRadius: window / 3,
+		Batch:       64,
+	}
+}
+
+// ScanHit is one confident, NMS-surviving detection in raster coordinates.
+type ScanHit struct {
+	Point hydro.Point
+	Score float64
+}
+
+// Scan slides the detector over a full C×H×W raster and returns
+// non-maximum-suppressed drainage-crossing locations, highest score
+// first. This is the survey operation the paper's pipeline feeds into DEM
+// breaching.
+func Scan(net *nn.Sequential, img *tensor.Tensor, cfg ScanConfig) ([]ScanHit, error) {
+	if img.Rank() != 3 {
+		return nil, fmt.Errorf("model: Scan expects a C×H×W raster, got %v", img.Shape())
+	}
+	bands, rows, cols := img.Dim(0), img.Dim(1), img.Dim(2)
+	if cfg.Window < 8 || cfg.Window > rows || cfg.Window > cols {
+		return nil, fmt.Errorf("model: window %d invalid for %dx%d raster", cfg.Window, rows, cols)
+	}
+	if cfg.Stride < 1 || cfg.Batch < 1 {
+		return nil, fmt.Errorf("model: invalid scan config %+v", cfg)
+	}
+
+	type window struct{ r0, c0 int }
+	var windows []window
+	for r0 := 0; r0+cfg.Window <= rows; r0 += cfg.Stride {
+		for c0 := 0; c0+cfg.Window <= cols; c0 += cfg.Stride {
+			windows = append(windows, window{r0, c0})
+		}
+	}
+
+	var hits []ScanHit
+	perImg := bands * cfg.Window * cfg.Window
+	for lo := 0; lo < len(windows); lo += cfg.Batch {
+		hi := lo + cfg.Batch
+		if hi > len(windows) {
+			hi = len(windows)
+		}
+		n := hi - lo
+		batch := tensor.New(n, bands, cfg.Window, cfg.Window)
+		for i := 0; i < n; i++ {
+			wd := windows[lo+i]
+			copyWindow(batch.Data()[i*perImg:(i+1)*perImg], img, wd.r0, wd.c0, cfg.Window)
+		}
+		for i, det := range Detect(net, batch) {
+			if det.Score < cfg.MinScore {
+				continue
+			}
+			wd := windows[lo+i]
+			r := wd.r0 + int(det.Box.CY*float64(cfg.Window))
+			c := wd.c0 + int(det.Box.CX*float64(cfg.Window))
+			// A box center at exactly 1.0 decodes one cell past the
+			// window; clamp into the raster.
+			if r >= rows {
+				r = rows - 1
+			}
+			if c >= cols {
+				c = cols - 1
+			}
+			hits = append(hits, ScanHit{Point: hydro.Point{R: r, C: c}, Score: det.Score})
+		}
+	}
+	return SuppressHits(hits, cfg.MergeRadius), nil
+}
+
+// copyWindow copies a window of img into dst (flattened C×S×S).
+func copyWindow(dst []float32, img *tensor.Tensor, r0, c0, size int) {
+	bands, rows, cols := img.Dim(0), img.Dim(1), img.Dim(2)
+	_ = rows
+	for b := 0; b < bands; b++ {
+		for r := 0; r < size; r++ {
+			src := (b*img.Dim(1)+(r0+r))*cols + c0
+			d := (b*size + r) * size
+			copy(dst[d:d+size], img.Data()[src:src+size])
+		}
+	}
+}
+
+// SuppressHits performs greedy non-maximum suppression: hits are ranked
+// by score, and each surviving hit suppresses lower-scoring hits within
+// radius cells. The result is sorted by descending score.
+func SuppressHits(hits []ScanHit, radius int) []ScanHit {
+	sorted := append([]ScanHit(nil), hits...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	var out []ScanHit
+	r2 := radius * radius
+	for _, h := range sorted {
+		dup := false
+		for _, kept := range out {
+			dr, dc := h.Point.R-kept.Point.R, h.Point.C-kept.Point.C
+			if dr*dr+dc*dc <= r2 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// MatchHits scores detected points against ground-truth crossings within
+// a tolerance radius, returning recall and precision.
+func MatchHits(hits []ScanHit, truth []hydro.Point, radius int) (recall, precision float64) {
+	if len(truth) == 0 || len(hits) == 0 {
+		return 0, 0
+	}
+	r2 := radius * radius
+	matchedTruth := 0
+	for _, gt := range truth {
+		for _, h := range hits {
+			dr, dc := gt.R-h.Point.R, gt.C-h.Point.C
+			if dr*dr+dc*dc <= r2 {
+				matchedTruth++
+				break
+			}
+		}
+	}
+	matchedHits := 0
+	for _, h := range hits {
+		for _, gt := range truth {
+			dr, dc := gt.R-h.Point.R, gt.C-h.Point.C
+			if dr*dr+dc*dc <= r2 {
+				matchedHits++
+				break
+			}
+		}
+	}
+	return float64(matchedTruth) / float64(len(truth)), float64(matchedHits) / float64(len(hits))
+}

@@ -1,0 +1,121 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/hydro"
+	"drainnet/internal/tensor"
+)
+
+func TestSuppressHitsKeepsBestPerCluster(t *testing.T) {
+	hits := []ScanHit{
+		{Point: hydro.Point{R: 10, C: 10}, Score: 0.90},
+		{Point: hydro.Point{R: 12, C: 11}, Score: 0.99}, // same cluster, higher
+		{Point: hydro.Point{R: 50, C: 50}, Score: 0.95}, // separate
+	}
+	out := SuppressHits(hits, 8)
+	if len(out) != 2 {
+		t.Fatalf("survivors = %d, want 2", len(out))
+	}
+	if out[0].Score != 0.99 || out[0].Point.R != 12 {
+		t.Fatalf("cluster winner wrong: %+v", out[0])
+	}
+	if out[1].Point.R != 50 {
+		t.Fatalf("separate hit lost: %+v", out[1])
+	}
+}
+
+func TestSuppressHitsSortedByScore(t *testing.T) {
+	hits := []ScanHit{
+		{Point: hydro.Point{R: 0, C: 0}, Score: 0.5},
+		{Point: hydro.Point{R: 100, C: 0}, Score: 0.9},
+		{Point: hydro.Point{R: 0, C: 100}, Score: 0.7},
+	}
+	out := SuppressHits(hits, 5)
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score {
+			t.Fatal("output not sorted by score")
+		}
+	}
+}
+
+func TestSuppressHitsEmpty(t *testing.T) {
+	if out := SuppressHits(nil, 10); len(out) != 0 {
+		t.Fatal("empty input must give empty output")
+	}
+}
+
+func TestMatchHits(t *testing.T) {
+	truth := []hydro.Point{{R: 10, C: 10}, {R: 80, C: 80}}
+	hits := []ScanHit{
+		{Point: hydro.Point{R: 12, C: 9}, Score: 1},  // matches first
+		{Point: hydro.Point{R: 40, C: 40}, Score: 1}, // false positive
+	}
+	recall, precision := MatchHits(hits, truth, 5)
+	if recall != 0.5 {
+		t.Fatalf("recall = %v, want 0.5", recall)
+	}
+	if precision != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", precision)
+	}
+	if r, p := MatchHits(nil, truth, 5); r != 0 || p != 0 {
+		t.Fatal("empty hits must give zeros")
+	}
+}
+
+func TestScanMechanics(t *testing.T) {
+	// Mechanics only (no training): an untrained net must scan without
+	// error, and every returned point must lie inside the raster.
+	rng := rand.New(rand.NewSource(71))
+	cfg := OriginalSPPNet().Scaled(16).WithInput(4, 32)
+	net, err := cfg.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(4, 96, 96)
+	img.RandUniform(rng, 0, 1)
+	sc := DefaultScanConfig(32)
+	sc.MinScore = 0 // keep everything: exercises decode + NMS
+	hits, err := Scan(net, img, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("MinScore=0 scan must return hits")
+	}
+	for _, h := range hits {
+		if h.Point.R < 0 || h.Point.R >= 96 || h.Point.C < 0 || h.Point.C >= 96 {
+			t.Fatalf("hit outside raster: %+v", h)
+		}
+	}
+	// NMS invariant: no two survivors within the merge radius.
+	r2 := sc.MergeRadius * sc.MergeRadius
+	for i := range hits {
+		for j := i + 1; j < len(hits); j++ {
+			dr := hits[i].Point.R - hits[j].Point.R
+			dc := hits[i].Point.C - hits[j].Point.C
+			if dr*dr+dc*dc <= r2 {
+				t.Fatalf("hits %d and %d violate NMS radius", i, j)
+			}
+		}
+	}
+}
+
+func TestScanRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	net, err := OriginalSPPNet().Scaled(16).WithInput(4, 32).Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(4, 64, 64)
+	if _, err := Scan(net, img, ScanConfig{Window: 4, Stride: 1, Batch: 1}); err == nil {
+		t.Fatal("expected error for tiny window")
+	}
+	if _, err := Scan(net, img, ScanConfig{Window: 32, Stride: 0, Batch: 1}); err == nil {
+		t.Fatal("expected error for zero stride")
+	}
+	if _, err := Scan(net, tensor.New(4, 64), DefaultScanConfig(32)); err == nil {
+		t.Fatal("expected error for non-raster input")
+	}
+}

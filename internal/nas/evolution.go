@@ -1,0 +1,115 @@
+package nas
+
+import (
+	"math/rand"
+
+	"drainnet/internal/model"
+)
+
+// EvolutionConfig controls the regularized-evolution strategy (Real et
+// al., aging evolution) — an alternative exploration strategy to the
+// paper's random search, provided for the strategy ablation.
+type EvolutionConfig struct {
+	// Population is the number of live individuals.
+	Population int
+	// Cycles is the number of evolution steps after the initial
+	// population (each step evaluates one child).
+	Cycles int
+	// SampleSize is the tournament size for parent selection.
+	SampleSize int
+	// Seed drives sampling and mutation.
+	Seed int64
+}
+
+// DefaultEvolution returns a small, sensible configuration.
+func DefaultEvolution() EvolutionConfig {
+	return EvolutionConfig{Population: 8, Cycles: 24, SampleSize: 3, Seed: 1}
+}
+
+// choiceIndex returns the index of v in choices (0 if absent).
+func choiceIndex(choices []int, v int) int {
+	for i, c := range choices {
+		if c == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// mutate perturbs exactly one searchable dimension of cfg by one step.
+func (s Space) mutate(rng *rand.Rand, cfg model.Config) model.Config {
+	k := cfg.Convs[0].Kernel
+	spp1 := cfg.SPPLevels[0]
+	fc := cfg.FCWidth
+	step := func(choices []int, cur int) int {
+		i := choiceIndex(choices, cur)
+		if rng.Intn(2) == 0 && i > 0 {
+			return choices[i-1]
+		}
+		if i < len(choices)-1 {
+			return choices[i+1]
+		}
+		if i > 0 {
+			return choices[i-1]
+		}
+		return choices[i]
+	}
+	switch rng.Intn(3) {
+	case 0:
+		k = step(s.Conv1Kernel.Choices, k)
+	case 1:
+		spp1 = step(s.SPPFirstLevel.Choices, spp1)
+	default:
+		fc = step(s.FCWidth.Choices, fc)
+	}
+	return s.instantiate(k, spp1, fc)
+}
+
+// EvolutionSearch runs regularized (aging) evolution: the oldest
+// individual dies each cycle, and a mutation of a tournament winner
+// replaces it. Every evaluation is returned as a Trial, so the total
+// evaluation budget is Population + Cycles (duplicates are re-used from
+// a cache, not re-evaluated, but still consume a cycle).
+func EvolutionSearch(space Space, eval Evaluator, cfg EvolutionConfig) []Trial {
+	if cfg.Population < 2 {
+		cfg.Population = 2
+	}
+	if cfg.SampleSize < 1 {
+		cfg.SampleSize = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cache := map[string]Trial{}
+	var history []Trial
+
+	score := func(c model.Config) Trial {
+		if t, ok := cache[c.Name]; ok {
+			return t
+		}
+		acc, err := eval.Evaluate(c)
+		t := Trial{Config: c, Accuracy: acc, Err: err}
+		cache[c.Name] = t
+		history = append(history, t)
+		return t
+	}
+
+	// Seed population.
+	var population []Trial
+	for len(population) < cfg.Population {
+		population = append(population, score(space.Sample(rng)))
+	}
+	// Aging evolution.
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		// Tournament: best of SampleSize random individuals.
+		best := population[rng.Intn(len(population))]
+		for i := 1; i < cfg.SampleSize; i++ {
+			cand := population[rng.Intn(len(population))]
+			if cand.Err == nil && (best.Err != nil || cand.Accuracy > best.Accuracy) {
+				best = cand
+			}
+		}
+		child := score(space.mutate(rng, best.Config))
+		// Age out the oldest, append the child.
+		population = append(population[1:], child)
+	}
+	return history
+}

@@ -1,0 +1,127 @@
+package nas
+
+import (
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/model"
+)
+
+// hillEvaluator is a smooth synthetic objective with a unique optimum at
+// (k=5, spp1=4, fc=2048), used to compare strategy sample-efficiency.
+func hillEvaluator(cfg model.Config) (float64, error) {
+	score := 1.0
+	score -= 0.02 * absf(float64(cfg.Convs[0].Kernel-5))
+	score -= 0.03 * absf(float64(cfg.SPPLevels[0]-4))
+	switch cfg.FCWidth {
+	case 2048:
+	case 1024, 4096:
+		score -= 0.02
+	default:
+		score -= 0.05
+	}
+	return score, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEvolutionSearchStaysInSpace(t *testing.T) {
+	s := DefaultSpace()
+	valid := map[string]bool{}
+	for _, cfg := range s.All() {
+		valid[cfg.Name] = true
+	}
+	trials := EvolutionSearch(s, FunctionalEvaluator(hillEvaluator), DefaultEvolution())
+	if len(trials) == 0 {
+		t.Fatal("no trials")
+	}
+	for _, tr := range trials {
+		if !valid[tr.Config.Name] {
+			t.Fatalf("evolved config %q outside the space", tr.Config.Name)
+		}
+	}
+}
+
+func TestEvolutionSearchDeterministic(t *testing.T) {
+	s := DefaultSpace()
+	a := EvolutionSearch(s, FunctionalEvaluator(hillEvaluator), DefaultEvolution())
+	b := EvolutionSearch(s, FunctionalEvaluator(hillEvaluator), DefaultEvolution())
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Config.Name != b[i].Config.Name {
+			t.Fatal("evolution not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestEvolutionImprovesOverTime(t *testing.T) {
+	s := DefaultSpace()
+	cfg := DefaultEvolution()
+	cfg.Cycles = 60
+	trials := EvolutionSearch(s, FunctionalEvaluator(hillEvaluator), cfg)
+	// Mean accuracy of the last quarter must beat the first quarter.
+	q := len(trials) / 4
+	if q == 0 {
+		t.Skip("too few trials")
+	}
+	mean := func(ts []Trial) float64 {
+		var sum float64
+		for _, tr := range ts {
+			sum += tr.Accuracy
+		}
+		return sum / float64(len(ts))
+	}
+	early, late := mean(trials[:q]), mean(trials[len(trials)-q:])
+	if late <= early {
+		t.Fatalf("evolution did not improve: early %.4f, late %.4f", early, late)
+	}
+}
+
+func TestEvolutionVsRandomSampleEfficiency(t *testing.T) {
+	// With the same evaluation budget, evolution's best should match or
+	// beat random search's best on the smooth hill objective.
+	s := DefaultSpace()
+	ecfg := DefaultEvolution()
+	ecfg.Cycles = 40
+	evo := EvolutionSearch(s, FunctionalEvaluator(hillEvaluator), ecfg)
+	budget := len(evo)
+	rnd := RandomSearch(s, FunctionalEvaluator(hillEvaluator), budget, 9)
+	be, br := BestByAccuracy(evo), BestByAccuracy(rnd)
+	if be == nil || br == nil {
+		t.Fatal("missing best")
+	}
+	if be.Accuracy < br.Accuracy-1e-9 {
+		t.Fatalf("evolution best %.4f below random best %.4f at equal budget (%d evals)",
+			be.Accuracy, br.Accuracy, budget)
+	}
+}
+
+func TestMutateChangesExactlyOneDimension(t *testing.T) {
+	s := DefaultSpace()
+	base := s.instantiate(5, 3, 1024)
+	for seed := int64(0); seed < 20; seed++ {
+		m := s.mutate(newRng(seed), base)
+		diffs := 0
+		if m.Convs[0].Kernel != base.Convs[0].Kernel {
+			diffs++
+		}
+		if m.SPPLevels[0] != base.SPPLevels[0] {
+			diffs++
+		}
+		if m.FCWidth != base.FCWidth {
+			diffs++
+		}
+		if diffs != 1 {
+			t.Fatalf("seed %d: mutation changed %d dimensions", seed, diffs)
+		}
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,249 @@
+// Package nas implements the neural-architecture-search workflow of the
+// paper's §4 and §5: a Retiarii-style model space over the SPP-Net family,
+// a multi-trial executor with a random exploration strategy and a
+// functional evaluator, and the accuracy-constrained efficiency
+// optimization of Fig 5 — candidates above the accuracy threshold are
+// benchmarked with the IOS scheduler and the most efficient one wins:
+//
+//	maximize e(n), n ∈ N, subject to a(n) > A.
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"drainnet/internal/gpu"
+	"drainnet/internal/ios"
+	"drainnet/internal/model"
+)
+
+// Mutable is one searchable dimension: a named list of choices.
+type Mutable struct {
+	Name    string
+	Choices []int
+}
+
+// Space is the paper's §4.2 search space over the SPP-Net family.
+type Space struct {
+	// Base is the template architecture; mutables override its fields.
+	Base model.Config
+	// Conv1Kernel is the filter size of the first convolutional layer.
+	Conv1Kernel Mutable
+	// SPPFirstLevel is the filter size of the first SPP pyramid level.
+	SPPFirstLevel Mutable
+	// FCWidth is the hidden fully-connected feature size.
+	FCWidth Mutable
+}
+
+// DefaultSpace returns the exact search space of §4.2:
+// conv1 kernel ∈ {1,3,5,7,9}, first SPP level ∈ {1..5},
+// FC width ∈ {128,256,512,1024,2048,4096,8192}.
+func DefaultSpace() Space {
+	return Space{
+		Base:          model.OriginalSPPNet(),
+		Conv1Kernel:   Mutable{Name: "conv1_kernel", Choices: []int{1, 3, 5, 7, 9}},
+		SPPFirstLevel: Mutable{Name: "spp_first_level", Choices: []int{1, 2, 3, 4, 5}},
+		FCWidth:       Mutable{Name: "fc_width", Choices: []int{128, 256, 512, 1024, 2048, 4096, 8192}},
+	}
+}
+
+// Size returns the number of distinct architectures in the space.
+func (s Space) Size() int {
+	return len(s.Conv1Kernel.Choices) * len(s.SPPFirstLevel.Choices) * len(s.FCWidth.Choices)
+}
+
+// instantiate builds the config for one choice tuple.
+func (s Space) instantiate(k, spp1, fc int) model.Config {
+	cfg := s.Base
+	cfg.Convs = append([]model.ConvSpec(nil), s.Base.Convs...)
+	cfg.Convs[0].Kernel = k
+	// First pyramid level is searched; the finer levels stay (2, 1) as in
+	// the paper's candidates. A first level equal to 2 or 1 degenerates to
+	// fewer distinct levels; keep them unique and sorted descending.
+	levels := []int{spp1, 2, 1}
+	cfg.SPPLevels = dedupeDescending(levels)
+	cfg.FCWidth = fc
+	cfg.Name = fmt.Sprintf("sppnet-k%d-spp%d-fc%d", k, spp1, fc)
+	return cfg
+}
+
+func dedupeDescending(levels []int) []int {
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	out := levels[:0]
+	prev := -1
+	for _, l := range levels {
+		if l != prev {
+			out = append(out, l)
+			prev = l
+		}
+	}
+	return out
+}
+
+// Sample draws one architecture uniformly at random (the paper's random
+// exploration strategy).
+func (s Space) Sample(rng *rand.Rand) model.Config {
+	k := s.Conv1Kernel.Choices[rng.Intn(len(s.Conv1Kernel.Choices))]
+	spp1 := s.SPPFirstLevel.Choices[rng.Intn(len(s.SPPFirstLevel.Choices))]
+	fc := s.FCWidth.Choices[rng.Intn(len(s.FCWidth.Choices))]
+	return s.instantiate(k, spp1, fc)
+}
+
+// All enumerates the entire space (grid strategy).
+func (s Space) All() []model.Config {
+	var out []model.Config
+	for _, k := range s.Conv1Kernel.Choices {
+		for _, spp1 := range s.SPPFirstLevel.Choices {
+			for _, fc := range s.FCWidth.Choices {
+				out = append(out, s.instantiate(k, spp1, fc))
+			}
+		}
+	}
+	return out
+}
+
+// Evaluator scores one architecture (the Retiarii model evaluator role).
+type Evaluator interface {
+	Evaluate(cfg model.Config) (accuracy float64, err error)
+}
+
+// FunctionalEvaluator adapts a plain function, mirroring Retiarii's
+// FunctionalEvaluator — the paper's choice of model evaluator.
+type FunctionalEvaluator func(cfg model.Config) (float64, error)
+
+// Evaluate implements Evaluator.
+func (f FunctionalEvaluator) Evaluate(cfg model.Config) (float64, error) { return f(cfg) }
+
+// Trial is one evaluated architecture.
+type Trial struct {
+	Config   model.Config
+	Accuracy float64
+	Err      error
+}
+
+// RandomSearch runs the multi-trial strategy: up to maxTrials
+// random samples (duplicates skipped, counting against the budget), each
+// scored by the evaluator.
+func RandomSearch(space Space, eval Evaluator, maxTrials int, seed int64) []Trial {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var trials []Trial
+	for t := 0; t < maxTrials; t++ {
+		cfg := space.Sample(rng)
+		if seen[cfg.Name] {
+			continue
+		}
+		seen[cfg.Name] = true
+		acc, err := eval.Evaluate(cfg)
+		trials = append(trials, Trial{Config: cfg, Accuracy: acc, Err: err})
+	}
+	return trials
+}
+
+// GridSearch evaluates every architecture in the space.
+func GridSearch(space Space, eval Evaluator) []Trial {
+	var trials []Trial
+	for _, cfg := range space.All() {
+		acc, err := eval.Evaluate(cfg)
+		trials = append(trials, Trial{Config: cfg, Accuracy: acc, Err: err})
+	}
+	return trials
+}
+
+// BestByAccuracy returns the trial with the highest accuracy (nil if none
+// succeeded).
+func BestByAccuracy(trials []Trial) *Trial {
+	var best *Trial
+	for i := range trials {
+		t := &trials[i]
+		if t.Err != nil {
+			continue
+		}
+		if best == nil || t.Accuracy > best.Accuracy {
+			best = t
+		}
+	}
+	return best
+}
+
+// EfficiencyMeasurer prices one architecture's inference latency.
+type EfficiencyMeasurer interface {
+	// Latency returns sequential and IOS-optimized latency in ns at the
+	// given batch size.
+	Latency(cfg model.Config, batch int) (seqNs, optNs float64, err error)
+}
+
+// IOSMeasurer measures latency on the simulated GPU via the IOS pipeline,
+// as in Table 2.
+type IOSMeasurer struct {
+	Dev gpu.DeviceConfig
+}
+
+// Latency implements EfficiencyMeasurer.
+func (m IOSMeasurer) Latency(cfg model.Config, batch int) (float64, float64, error) {
+	g, err := cfg.BuildGraph()
+	if err != nil {
+		return 0, 0, err
+	}
+	rt := ios.NewRuntime(m.Dev)
+	seq := rt.Measure(g, ios.SequentialSchedule(g), batch)
+	sched, err := ios.Optimize(g, ios.NewSimOracle(m.Dev), batch)
+	if err != nil {
+		return 0, 0, err
+	}
+	opt := rt.Measure(g, sched, batch)
+	return seq.LatencyNs, opt.LatencyNs, nil
+}
+
+// Candidate is one accuracy-qualified architecture with its measured
+// latencies.
+type Candidate struct {
+	Trial
+	SeqLatencyNs float64
+	OptLatencyNs float64
+}
+
+// Selection is the outcome of the accuracy-constrained efficiency
+// optimization (Fig 5).
+type Selection struct {
+	Threshold  float64
+	Batch      int
+	Candidates []Candidate // all trials above the threshold, best first
+	Rejected   []Trial     // trials below the threshold or failed
+}
+
+// Best returns the winning candidate (nil when none qualified).
+func (s *Selection) Best() *Candidate {
+	if len(s.Candidates) == 0 {
+		return nil
+	}
+	return &s.Candidates[0]
+}
+
+// ResourceAware performs the §5.4 optimization: keep trials with
+// a(n) > threshold, measure e(n) via IOS at the given batch size, and rank
+// by optimized latency (lower is better).
+func ResourceAware(trials []Trial, meas EfficiencyMeasurer, threshold float64, batch int) (*Selection, error) {
+	sel := &Selection{Threshold: threshold, Batch: batch}
+	for _, t := range trials {
+		if t.Err != nil || t.Accuracy <= threshold {
+			sel.Rejected = append(sel.Rejected, t)
+			continue
+		}
+		seq, opt, err := meas.Latency(t.Config, batch)
+		if err != nil {
+			t.Err = err
+			sel.Rejected = append(sel.Rejected, t)
+			continue
+		}
+		sel.Candidates = append(sel.Candidates, Candidate{Trial: t, SeqLatencyNs: seq, OptLatencyNs: opt})
+	}
+	sort.SliceStable(sel.Candidates, func(i, j int) bool {
+		return sel.Candidates[i].OptLatencyNs < sel.Candidates[j].OptLatencyNs
+	})
+	if len(sel.Candidates) == 0 {
+		return sel, fmt.Errorf("nas: no candidate satisfied accuracy > %v", threshold)
+	}
+	return sel, nil
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"drainnet/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, applied elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Params implements Module.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Module.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Module.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < out.Len() {
+		r.mask = make([]bool, out.Len())
+	}
+	r.mask = r.mask[:out.Len()]
+	for i, v := range out.Data() {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := gradOut.Clone()
+	for i := range gradIn.Data() {
+		if !r.mask[i] {
+			gradIn.Data()[i] = 0
+		}
+	}
+	return gradIn
+}
+
+// Sigmoid is the logistic activation, applied elementwise. Training code
+// prefers BCEWithLogits for numerical stability; Sigmoid is used at
+// inference to turn logits into confidences.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid creates a sigmoid activation.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Params implements Module.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Module.
+func (s *Sigmoid) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Module.
+func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	out.Apply(sigmoid)
+	s.out = out
+	return out
+}
+
+// Backward implements Module.
+func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := gradOut.Clone()
+	for i, g := range gradIn.Data() {
+		y := s.out.Data()[i]
+		gradIn.Data()[i] = g * y * (1 - y)
+	}
+	return gradIn
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Dropout randomly zeroes activations during training with probability P
+// and rescales survivors by 1/(1-P) (inverted dropout). In eval mode it is
+// the identity.
+type Dropout struct {
+	P        float64
+	Training bool
+	rng      *rand.Rand
+	mask     []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p, Training: true, rng: rng}
+}
+
+// Params implements Module.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Module.
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Module.
+func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !d.Training || d.P == 0 {
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < out.Len() {
+		d.mask = make([]bool, out.Len())
+	}
+	d.mask = d.mask[:out.Len()]
+	scale := float32(1 / (1 - d.P))
+	for i := range out.Data() {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = false
+			out.Data()[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data()[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if !d.Training || d.P == 0 {
+		return gradOut
+	}
+	gradIn := gradOut.Clone()
+	scale := float32(1 / (1 - d.P))
+	for i := range gradIn.Data() {
+		if d.mask[i] {
+			gradIn.Data()[i] *= scale
+		} else {
+			gradIn.Data()[i] = 0
+		}
+	}
+	return gradIn
+}

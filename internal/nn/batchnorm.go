@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"drainnet/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of an N×C×H×W tensor over the
+// (N,H,W) axes, with learnable per-channel scale (gamma) and shift
+// (beta). During training it tracks running statistics with momentum;
+// in eval mode it normalizes with the running statistics. It is an
+// optional block for the SPP-Net family (the paper's models do not use
+// it; it exists for architecture-space extensions).
+type BatchNorm2D struct {
+	C        int
+	Eps      float64
+	Momentum float64
+	Training bool
+
+	Gamma, Beta *Param
+
+	RunningMean []float64
+	RunningVar  []float64
+
+	// backward cache
+	input  *tensor.Tensor
+	normed []float32 // x̂ values
+	mean   []float64
+	invStd []float64
+}
+
+// NewBatchNorm2D creates a batch-norm layer over c channels.
+func NewBatchNorm2D(c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		C:           c,
+		Eps:         1e-5,
+		Momentum:    0.1,
+		Training:    true,
+		Gamma:       NewParam(fmt.Sprintf("bn%d_gamma", c), c),
+		Beta:        NewParam(fmt.Sprintf("bn%d_beta", c), c),
+		RunningMean: make([]float64, c),
+		RunningVar:  make([]float64, c),
+	}
+	bn.Gamma.Value.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Params implements Module.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// OutShape implements Module.
+func (bn *BatchNorm2D) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Module.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank(x, 4, "BatchNorm2D")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D expects %d channels, got %d", bn.C, c))
+	}
+	out := tensor.New(n, c, h, w)
+	bn.input = x
+	if cap(bn.normed) < x.Len() {
+		bn.normed = make([]float32, x.Len())
+	}
+	bn.normed = bn.normed[:x.Len()]
+	bn.mean = make([]float64, c)
+	bn.invStd = make([]float64, c)
+
+	plane := h * w
+	count := float64(n * plane)
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if bn.Training {
+			var sum, sq float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					v := float64(x.Data()[base+j])
+					sum += v
+					sq += v * v
+				}
+			}
+			mean = sum / count
+			variance = sq/count - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			bn.RunningMean[ch] = (1-bn.Momentum)*bn.RunningMean[ch] + bn.Momentum*mean
+			bn.RunningVar[ch] = (1-bn.Momentum)*bn.RunningVar[ch] + bn.Momentum*variance
+		} else {
+			mean = bn.RunningMean[ch]
+			variance = bn.RunningVar[ch]
+		}
+		inv := 1 / math.Sqrt(variance+bn.Eps)
+		bn.mean[ch] = mean
+		bn.invStd[ch] = inv
+		g := float64(bn.Gamma.Value.Data()[ch])
+		b := float64(bn.Beta.Value.Data()[ch])
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				xhat := (float64(x.Data()[base+j]) - mean) * inv
+				bn.normed[base+j] = float32(xhat)
+				out.Data()[base+j] = float32(g*xhat + b)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module. In training mode it backpropagates through
+// the batch statistics (the full BN gradient); in eval mode the running
+// statistics are constants and the gradient is a simple scale.
+func (bn *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := bn.input
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	gradIn := tensor.New(n, c, h, w)
+	plane := h * w
+	count := float64(n * plane)
+
+	for ch := 0; ch < c; ch++ {
+		g := float64(bn.Gamma.Value.Data()[ch])
+		inv := bn.invStd[ch]
+		// Accumulate dGamma, dBeta and the two reduction terms of the BN
+		// input gradient.
+		var dGamma, dBeta, sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dy := float64(gradOut.Data()[base+j])
+				xhat := float64(bn.normed[base+j])
+				dGamma += dy * xhat
+				dBeta += dy
+				sumDy += dy
+				sumDyXhat += dy * xhat
+			}
+		}
+		bn.Gamma.Grad.Data()[ch] += float32(dGamma)
+		bn.Beta.Grad.Data()[ch] += float32(dBeta)
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dy := float64(gradOut.Data()[base+j])
+				if bn.Training {
+					xhat := float64(bn.normed[base+j])
+					gradIn.Data()[base+j] = float32(g * inv * (dy - sumDy/count - xhat*sumDyXhat/count))
+				} else {
+					gradIn.Data()[base+j] = float32(g * inv * dy)
+				}
+			}
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/tensor"
+)
+
+func TestBatchNormNormalizesTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	bn := NewBatchNorm2D(3)
+	x := tensor.New(4, 3, 5, 5)
+	x.RandNormal(rng, 3, 2) // far from zero-mean unit-var
+	y := bn.Forward(x)
+	// Each channel of the output must be ≈ zero-mean, unit-var.
+	plane := 25
+	for ch := 0; ch < 3; ch++ {
+		var sum, sq float64
+		for i := 0; i < 4; i++ {
+			base := (i*3 + ch) * plane
+			for j := 0; j < plane; j++ {
+				v := float64(y.Data()[base+j])
+				sum += v
+				sq += v * v
+			}
+		}
+		count := float64(4 * plane)
+		mean := sum / count
+		variance := sq/count - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d mean = %v", ch, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d var = %v", ch, variance)
+		}
+	}
+}
+
+func TestBatchNormGammaBetaApply(t *testing.T) {
+	bn := NewBatchNorm2D(1)
+	bn.Gamma.Value.Data()[0] = 2
+	bn.Beta.Value.Data()[0] = 5
+	x := tensor.FromSlice([]float32{-1, 1, -1, 1}, 1, 1, 2, 2)
+	y := bn.Forward(x)
+	// Normalized x is ±1; output must be 5±2.
+	for _, v := range y.Data() {
+		if math.Abs(math.Abs(float64(v)-5)-2) > 1e-4 {
+			t.Fatalf("output %v, want 3 or 7", v)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	bn := NewBatchNorm2D(2)
+	// Train on data with mean 10 so running stats move there.
+	for i := 0; i < 200; i++ {
+		x := tensor.New(8, 2, 3, 3)
+		x.RandNormal(rng, 10, 1)
+		bn.Forward(x)
+	}
+	if math.Abs(bn.RunningMean[0]-10) > 0.5 {
+		t.Fatalf("running mean = %v, want ≈10", bn.RunningMean[0])
+	}
+	bn.Training = false
+	// A batch AT the running mean must normalize to ≈0 regardless of its
+	// own (tiny) batch statistics.
+	x := tensor.New(1, 2, 3, 3)
+	x.Fill(10)
+	y := bn.Forward(x)
+	for _, v := range y.Data() {
+		if math.Abs(float64(v)) > 0.6 {
+			t.Fatalf("eval output %v, want ≈0", v)
+		}
+	}
+}
+
+func TestGradCheckBatchNormEval(t *testing.T) {
+	// Eval mode: running stats are constants, so the layer is a smooth
+	// affine map — exact gradient check.
+	rng := rand.New(rand.NewSource(53))
+	bn := NewBatchNorm2D(2)
+	bn.Training = false
+	for i := range bn.RunningMean {
+		bn.RunningMean[i] = 0.3
+		bn.RunningVar[i] = 2.0
+	}
+	bn.Gamma.Value.Data()[0] = 1.5
+	bn.Gamma.Value.Data()[1] = 0.7
+	x := tensor.New(2, 2, 4, 4)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "batchnorm-eval", bn, x)
+}
+
+func TestGradCheckBatchNormTraining(t *testing.T) {
+	// Training mode: gradient flows through the batch statistics.
+	rng := rand.New(rand.NewSource(54))
+	bn := NewBatchNorm2D(2)
+	x := tensor.New(3, 2, 3, 3)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "batchnorm-train", bn, x)
+}
+
+func TestBatchNormChannelMismatchPanics(t *testing.T) {
+	bn := NewBatchNorm2D(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bn.Forward(tensor.New(1, 3, 2, 2))
+}

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/tensor"
+)
+
+func BenchmarkConvForward64x50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, 64, 128, 3, 1)
+	x := tensor.New(1, 64, 50, 50)
+	x.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x)
+	}
+}
+
+func BenchmarkConvBackward64x50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D(rng, 64, 128, 3, 1)
+	x := tensor.New(1, 64, 50, 50)
+	x.RandNormal(rng, 0, 1)
+	out := conv.Forward(x)
+	grad := tensor.New(out.Shape()...)
+	grad.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Backward(grad)
+	}
+}
+
+func BenchmarkSPPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	spp := NewSPP(5, 2, 1)
+	x := tensor.New(4, 256, 12, 12)
+	x.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spp.Forward(x)
+	}
+}
+
+func BenchmarkLinearForward4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	lin := NewLinear(rng, 7680, 4096)
+	x := tensor.New(4, 7680)
+	x.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin.Forward(x)
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	bn := NewBatchNorm2D(64)
+	x := tensor.New(8, 64, 25, 25)
+	x.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Forward(x)
+	}
+}

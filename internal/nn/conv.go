@@ -1,0 +1,227 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"drainnet/internal/tensor"
+)
+
+// ConvAlgo selects the convolution implementation.
+type ConvAlgo int
+
+const (
+	// ConvIm2Col lowers the convolution to a matrix multiply (default;
+	// fastest for the layer sizes in this repo).
+	ConvIm2Col ConvAlgo = iota
+	// ConvDirect computes the convolution with direct nested loops. Kept
+	// for the im2col-vs-direct ablation (DESIGN.md §5.3).
+	ConvDirect
+)
+
+// Conv2D is a 2-D convolution over N×C×H×W input producing N×OC×OH×OW.
+type Conv2D struct {
+	InC, OutC int
+	Geom      tensor.ConvGeom
+	Algo      ConvAlgo
+
+	Weight *Param // OC×C×KH×KW
+	Bias   *Param // OC
+
+	// forward cache
+	inShape []int
+	cols    []*tensor.Tensor // per-sample lowered input (im2col path)
+	input   *tensor.Tensor   // retained for the direct path
+}
+
+// NewConv2D creates a convolution layer with He initialization. Kernel is
+// square (k×k) with the given stride; padding defaults to "same-ish"
+// (k/2) which preserves spatial size at stride 1, matching the paper's
+// architecture notation C_{filters,k,stride}.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride int) *Conv2D {
+	return NewConv2DPad(rng, inC, outC, k, stride, k/2)
+}
+
+// NewConv2DPad creates a convolution layer with explicit padding.
+func NewConv2DPad(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		InC:    inC,
+		OutC:   outC,
+		Geom:   tensor.ConvGeom{KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad},
+		Weight: NewParam(fmt.Sprintf("conv%dx%d_w", outC, k), outC, inC, k, k),
+		Bias:   NewParam(fmt.Sprintf("conv%dx%d_b", outC, k), outC),
+	}
+	c.Weight.Value.KaimingInit(rng, inC*k*k)
+	return c
+}
+
+// Params implements Module.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutShape implements Module.
+func (c *Conv2D) OutShape(in []int) []int {
+	oh, ow := c.Geom.OutSize(in[2], in[3])
+	return []int{in[0], c.OutC, oh, ow}
+}
+
+// Forward implements Module.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank(x, 4, "Conv2D")
+	n, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if ch != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects %d input channels, got %d", c.InC, ch))
+	}
+	if err := c.Geom.Validate(h, w); err != nil {
+		panic(err)
+	}
+	c.inShape = append([]int(nil), x.Shape()...)
+	oh, ow := c.Geom.OutSize(h, w)
+	out := tensor.New(n, c.OutC, oh, ow)
+
+	if c.Algo == ConvDirect {
+		c.input = x
+		c.forwardDirect(x, out)
+		return out
+	}
+
+	wmat := c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW)
+	if cap(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	c.cols = c.cols[:n]
+	outStride := c.OutC * oh * ow
+	tensor.ParallelFor(n, func(i int) {
+		img := tensor.FromSlice(x.Data()[i*ch*h*w:(i+1)*ch*h*w], ch, h, w)
+		if c.cols[i] == nil || c.cols[i].Dim(0) != wmat.Dim(1) || c.cols[i].Dim(1) != oh*ow {
+			c.cols[i] = tensor.New(wmat.Dim(1), oh*ow)
+		}
+		tensor.Im2ColInto(c.cols[i], img, c.Geom)
+		res := tensor.FromSlice(out.Data()[i*outStride:(i+1)*outStride], c.OutC, oh*ow)
+		tensor.MatMulInto(res, wmat, c.cols[i])
+		// Add bias per output channel.
+		for o := 0; o < c.OutC; o++ {
+			b := c.Bias.Value.Data()[o]
+			row := res.Data()[o*oh*ow : (o+1)*oh*ow]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	})
+	return out
+}
+
+func (c *Conv2D) forwardDirect(x, out *tensor.Tensor) {
+	n := x.Dim(0)
+	h, w := x.Dim(2), x.Dim(3)
+	oh, ow := c.Geom.OutSize(h, w)
+	g := c.Geom
+	tensor.ParallelFor(n, func(i int) {
+		for o := 0; o < c.OutC; o++ {
+			bias := c.Bias.Value.Data()[o]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := bias
+					for ch := 0; ch < c.InC; ch++ {
+						for kh := 0; kh < g.KH; kh++ {
+							iy := oy*g.StrideH - g.PadH + kh
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kw := 0; kw < g.KW; kw++ {
+								ix := ox*g.StrideW - g.PadW + kw
+								if ix < 0 || ix >= w {
+									continue
+								}
+								s += c.Weight.Value.At(o, ch, kh, kw) * x.At(i, ch, iy, ix)
+							}
+						}
+					}
+					out.Set(s, i, o, oy, ox)
+				}
+			}
+		}
+	})
+}
+
+// Backward implements Module.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	checkRank(gradOut, 4, "Conv2D.Backward")
+	n, ch, h, w := c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3]
+	oh, ow := c.Geom.OutSize(h, w)
+	gradIn := tensor.New(n, ch, h, w)
+
+	if c.Algo == ConvDirect {
+		c.backwardDirect(gradOut, gradIn)
+		return gradIn
+	}
+
+	wmat := c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW)
+	outStride := c.OutC * oh * ow
+	inStride := ch * h * w
+
+	// Weight/bias gradients are accumulated across samples; do that part
+	// serially to avoid racing on the shared Grad tensors, but compute the
+	// per-sample input gradients in parallel first.
+	dcols := make([]*tensor.Tensor, n)
+	tensor.ParallelFor(n, func(i int) {
+		g := tensor.FromSlice(gradOut.Data()[i*outStride:(i+1)*outStride], c.OutC, oh*ow)
+		// dCols = Wᵀ · dOut
+		dcols[i] = tensor.MatMulTransA(wmat, g)
+		gi := tensor.FromSlice(gradIn.Data()[i*inStride:(i+1)*inStride], ch, h, w)
+		tensor.Col2ImInto(gi, dcols[i], c.Geom)
+	})
+	dwmat := c.Weight.Grad.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW)
+	for i := 0; i < n; i++ {
+		g := tensor.FromSlice(gradOut.Data()[i*outStride:(i+1)*outStride], c.OutC, oh*ow)
+		// dW += dOut · colsᵀ
+		dw := tensor.MatMulTransB(g, c.cols[i])
+		dwmat.AddScaled(dw, 1)
+		// dB += row sums of dOut
+		for o := 0; o < c.OutC; o++ {
+			var s float64
+			row := g.Data()[o*oh*ow : (o+1)*oh*ow]
+			for _, v := range row {
+				s += float64(v)
+			}
+			c.Bias.Grad.Data()[o] += float32(s)
+		}
+	}
+	return gradIn
+}
+
+func (c *Conv2D) backwardDirect(gradOut, gradIn *tensor.Tensor) {
+	n := c.inShape[0]
+	h, w := c.inShape[2], c.inShape[3]
+	oh, ow := c.Geom.OutSize(h, w)
+	g := c.Geom
+	x := c.input
+	for i := 0; i < n; i++ {
+		for o := 0; o < c.OutC; o++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := gradOut.At(i, o, oy, ox)
+					if gv == 0 {
+						continue
+					}
+					c.Bias.Grad.Data()[o] += gv
+					for ch := 0; ch < c.InC; ch++ {
+						for kh := 0; kh < g.KH; kh++ {
+							iy := oy*g.StrideH - g.PadH + kh
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kw := 0; kw < g.KW; kw++ {
+								ix := ox*g.StrideW - g.PadW + kw
+								if ix < 0 || ix >= w {
+									continue
+								}
+								c.Weight.Grad.Data()[((o*c.InC+ch)*g.KH+kh)*g.KW+kw] += gv * x.At(i, ch, iy, ix)
+								gradIn.Data()[((i*c.InC+ch)*h+iy)*w+ix] += gv * c.Weight.Value.At(o, ch, kh, kw)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/tensor"
+)
+
+// numericGrad estimates dLoss/dx[i] by central differences for a loss that
+// is the dot product of the module output with a fixed random cotangent.
+// That makes the analytic gradient exactly Backward(cotangent).
+func numericGrad(t *testing.T, m Module, x *tensor.Tensor, cot *tensor.Tensor, eps float64) *tensor.Tensor {
+	t.Helper()
+	g := tensor.New(x.Shape()...)
+	for i := 0; i < x.Len(); i++ {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + float32(eps)
+		plus := dotLoss(m.Forward(x), cot)
+		x.Data()[i] = orig - float32(eps)
+		minus := dotLoss(m.Forward(x), cot)
+		x.Data()[i] = orig
+		g.Data()[i] = float32((plus - minus) / (2 * eps))
+	}
+	return g
+}
+
+func dotLoss(out, cot *tensor.Tensor) float64 {
+	var s float64
+	for i, v := range out.Data() {
+		s += float64(v) * float64(cot.Data()[i])
+	}
+	return s
+}
+
+// paramNumericGrad does the same for a parameter tensor.
+func paramNumericGrad(t *testing.T, m Module, x *tensor.Tensor, p *Param, cot *tensor.Tensor, eps float64) *tensor.Tensor {
+	t.Helper()
+	g := tensor.New(p.Value.Shape()...)
+	for i := 0; i < p.Value.Len(); i++ {
+		orig := p.Value.Data()[i]
+		p.Value.Data()[i] = orig + float32(eps)
+		plus := dotLoss(m.Forward(x), cot)
+		p.Value.Data()[i] = orig - float32(eps)
+		minus := dotLoss(m.Forward(x), cot)
+		p.Value.Data()[i] = orig
+		g.Data()[i] = float32((plus - minus) / (2 * eps))
+	}
+	return g
+}
+
+func checkClose(t *testing.T, name string, got, want *tensor.Tensor, tol float64) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v vs %v", name, got.Shape(), want.Shape())
+	}
+	for i := range got.Data() {
+		a, b := float64(got.Data()[i]), float64(want.Data()[i])
+		if math.Abs(a-b) > tol*(1+math.Abs(b)) {
+			t.Fatalf("%s: grad[%d] = %v, numeric %v", name, i, a, b)
+		}
+	}
+}
+
+func gradCheckModule(t *testing.T, name string, m Module, x *tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	out := m.Forward(x)
+	cot := tensor.New(out.Shape()...)
+	cot.RandNormal(rng, 0, 1)
+
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	// Re-run forward so layer caches match x exactly, then backward.
+	m.Forward(x)
+	gotIn := m.Backward(cot)
+
+	const eps = 1e-2 // float32 forward → coarse finite differences
+	wantIn := numericGrad(t, m, x, cot, eps)
+	checkClose(t, name+"/input", gotIn, wantIn, 2e-2)
+
+	for _, p := range m.Params() {
+		wantP := paramNumericGrad(t, m, x, p, cot, eps)
+		checkClose(t, name+"/"+p.Name, p.Grad, wantP, 2e-2)
+	}
+}
+
+func TestGradCheckConv2DIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	conv := NewConv2D(rng, 2, 3, 3, 1)
+	x := tensor.New(2, 2, 5, 5)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "conv-im2col", conv, x)
+}
+
+func TestGradCheckConv2DStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	conv := NewConv2D(rng, 1, 2, 5, 2)
+	x := tensor.New(1, 1, 9, 9)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "conv-stride2", conv, x)
+}
+
+func TestGradCheckConv2DDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	conv := NewConv2D(rng, 2, 2, 3, 1)
+	conv.Algo = ConvDirect
+	x := tensor.New(1, 2, 5, 5)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "conv-direct", conv, x)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	pool := NewMaxPool2D(2, 2)
+	x := tensor.New(2, 3, 6, 6)
+	// Spread values out so finite differences do not flip the argmax.
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%97) * 0.5
+	}
+	_ = rng
+	gradCheckModule(t, "maxpool", pool, x)
+}
+
+func TestGradCheckAdaptivePool(t *testing.T) {
+	pool := NewAdaptiveMaxPool2D(3)
+	x := tensor.New(1, 2, 7, 5)
+	for i := range x.Data() {
+		x.Data()[i] = float32((i*37)%101) * 0.3
+	}
+	gradCheckModule(t, "adaptivepool", pool, x)
+}
+
+func TestGradCheckSPP(t *testing.T) {
+	spp := NewSPP(3, 2, 1)
+	x := tensor.New(2, 2, 6, 6)
+	for i := range x.Data() {
+		x.Data()[i] = float32((i*53)%89) * 0.25
+	}
+	gradCheckModule(t, "spp", spp, x)
+}
+
+func TestGradCheckLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	lin := NewLinear(rng, 7, 4)
+	x := tensor.New(3, 7)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "linear", lin, x)
+}
+
+func TestGradCheckReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	x := tensor.New(4, 9)
+	x.RandNormal(rng, 0, 1)
+	// Keep values away from the kink at 0.
+	x.Apply(func(v float32) float32 {
+		if v >= 0 && v < 0.1 {
+			return v + 0.2
+		}
+		if v < 0 && v > -0.1 {
+			return v - 0.2
+		}
+		return v
+	})
+	gradCheckModule(t, "relu", NewReLU(), x)
+}
+
+func TestGradCheckSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	x := tensor.New(3, 5)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "sigmoid", NewSigmoid(), x)
+}
+
+func TestGradCheckSequentialCNN(t *testing.T) {
+	// Composition check with smooth layers only: piecewise-linear layers
+	// (ReLU, max pools) are gradient-checked individually above, but their
+	// kinks make finite differences of a deep composition unreliable.
+	rng := rand.New(rand.NewSource(39))
+	net := NewSequential(
+		NewConv2D(rng, 1, 2, 3, 1),
+		NewSigmoid(),
+		NewFlatten(),
+		NewLinear(rng, 2*8*8, 3),
+	)
+	x := tensor.New(2, 1, 8, 8)
+	x.RandNormal(rng, 0, 1)
+	gradCheckModule(t, "sequential", net, x)
+}

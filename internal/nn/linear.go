@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"drainnet/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = x·Wᵀ + b over N×In input.
+type Linear struct {
+	In, Out int
+	Weight  *Param // Out×In
+	Bias    *Param // Out
+
+	input *tensor.Tensor
+}
+
+// NewLinear creates a fully-connected layer with Xavier initialization.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(fmt.Sprintf("fc%dx%d_w", out, in), out, in),
+		Bias:   NewParam(fmt.Sprintf("fc%dx%d_b", out, in), out),
+	}
+	l.Weight.Value.XavierInit(rng, in, out)
+	return l
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// OutShape implements Module.
+func (l *Linear) OutShape(in []int) []int { return []int{in[0], l.Out} }
+
+// Forward implements Module.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank(x, 2, "Linear")
+	if x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear expects %d features, got %d", l.In, x.Dim(1)))
+	}
+	l.input = x
+	out := tensor.MatMulTransB(x, l.Weight.Value) // N×Out
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := out.Data()[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.Value.Data()[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	checkRank(gradOut, 2, "Linear.Backward")
+	n := gradOut.Dim(0)
+	// dW += dOutᵀ · X
+	dw := tensor.MatMulTransA(gradOut, l.input)
+	l.Weight.Grad.AddScaled(dw, 1)
+	// dB += column sums of dOut
+	for i := 0; i < n; i++ {
+		row := gradOut.Data()[i*l.Out : (i+1)*l.Out]
+		for j, v := range row {
+			l.Bias.Grad.Data()[j] += v
+		}
+	}
+	// dX = dOut · W
+	return tensor.MatMul(gradOut, l.Weight.Value)
+}
+
+// Flatten reshapes N×C×H×W (or any rank ≥ 2) input to N×F.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Params implements Module.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Module.
+func (f *Flatten) OutShape(in []int) []int {
+	return []int{in[0], tensor.Volume(in[1:])}
+}
+
+// Forward implements Module.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Module.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.inShape...)
+}

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"drainnet/internal/tensor"
+)
+
+// BCEWithLogitsLoss computes the mean binary cross-entropy between logits
+// and 0/1 targets, with the numerically stable log-sum-exp formulation:
+//
+//	loss = max(x,0) - x*t + log(1 + exp(-|x|))
+//
+// It returns the scalar loss and the gradient with respect to the logits.
+func BCEWithLogitsLoss(logits, targets *tensor.Tensor) (float64, *tensor.Tensor) {
+	if logits.Len() != targets.Len() {
+		panic(fmt.Sprintf("nn: BCE logits/targets length mismatch %d vs %d", logits.Len(), targets.Len()))
+	}
+	n := logits.Len()
+	if n == 0 {
+		return 0, tensor.New(logits.Shape()...)
+	}
+	grad := tensor.New(logits.Shape()...)
+	var loss float64
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		x := float64(logits.Data()[i])
+		t := float64(targets.Data()[i])
+		loss += math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
+		p := 1 / (1 + math.Exp(-x))
+		grad.Data()[i] = float32((p - t) * inv)
+	}
+	return loss * inv, grad
+}
+
+// SmoothL1Loss computes the Huber-style smooth-L1 loss used for bounding
+// box regression, averaged over the masked elements:
+//
+//	l(d) = 0.5 d²      if |d| < 1
+//	       |d| - 0.5   otherwise
+//
+// mask selects which rows (samples) participate; pass nil to include all.
+// It returns the scalar loss and the gradient with respect to pred.
+func SmoothL1Loss(pred, target *tensor.Tensor, mask []bool) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: SmoothL1 shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	grad := tensor.New(pred.Shape()...)
+	n := pred.Dim(0)
+	cols := pred.Len() / max(n, 1)
+	active := 0
+	for i := 0; i < n; i++ {
+		if mask == nil || mask[i] {
+			active++
+		}
+	}
+	if active == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(active*cols)
+	var loss float64
+	for i := 0; i < n; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			d := float64(pred.Data()[i*cols+j]) - float64(target.Data()[i*cols+j])
+			if math.Abs(d) < 1 {
+				loss += 0.5 * d * d
+				grad.Data()[i*cols+j] = float32(d * inv)
+			} else {
+				loss += math.Abs(d) - 0.5
+				if d > 0 {
+					grad.Data()[i*cols+j] = float32(inv)
+				} else {
+					grad.Data()[i*cols+j] = float32(-inv)
+				}
+			}
+		}
+	}
+	return loss * inv, grad
+}
+
+// DetectionLoss combines objectness BCE and box smooth-L1 for a detection
+// head that emits [logit, cx, cy, w, h] per sample (N×5). Box loss is only
+// applied to positive samples. BoxWeight balances the two terms.
+type DetectionLoss struct {
+	BoxWeight float64
+}
+
+// DetectionTarget is the supervision for one sample.
+type DetectionTarget struct {
+	HasObject bool
+	// Box in normalized [0,1] image coordinates: center x/y, width, height.
+	CX, CY, W, H float32
+}
+
+// Compute evaluates the combined loss for head output N×5 and returns the
+// scalar loss and dL/d(output).
+func (dl *DetectionLoss) Compute(out *tensor.Tensor, targets []DetectionTarget) (float64, *tensor.Tensor) {
+	if out.Rank() != 2 || out.Dim(1) != 5 {
+		panic(fmt.Sprintf("nn: DetectionLoss expects N×5 output, got %v", out.Shape()))
+	}
+	n := out.Dim(0)
+	if len(targets) != n {
+		panic(fmt.Sprintf("nn: DetectionLoss %d targets for %d samples", len(targets), n))
+	}
+	logits := tensor.New(n)
+	labels := tensor.New(n)
+	boxes := tensor.New(n, 4)
+	boxTargets := tensor.New(n, 4)
+	mask := make([]bool, n)
+	for i := 0; i < n; i++ {
+		logits.Data()[i] = out.At(i, 0)
+		if targets[i].HasObject {
+			labels.Data()[i] = 1
+			mask[i] = true
+			boxTargets.Set(targets[i].CX, i, 0)
+			boxTargets.Set(targets[i].CY, i, 1)
+			boxTargets.Set(targets[i].W, i, 2)
+			boxTargets.Set(targets[i].H, i, 3)
+		}
+		for j := 0; j < 4; j++ {
+			boxes.Set(out.At(i, j+1), i, j)
+		}
+	}
+	objLoss, objGrad := BCEWithLogitsLoss(logits, labels)
+	boxLoss, boxGrad := SmoothL1Loss(boxes, boxTargets, mask)
+	grad := tensor.New(n, 5)
+	for i := 0; i < n; i++ {
+		grad.Set(objGrad.Data()[i], i, 0)
+		for j := 0; j < 4; j++ {
+			grad.Set(float32(dl.BoxWeight)*boxGrad.At(i, j), i, j+1)
+		}
+	}
+	return objLoss + dl.BoxWeight*boxLoss, grad
+}

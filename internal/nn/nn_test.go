@@ -1,0 +1,370 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/tensor"
+)
+
+func TestConvOutShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, 4, 64, 3, 1)
+	got := conv.OutShape([]int{20, 4, 100, 100})
+	want := []int{20, 64, 100, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OutShape = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConvChannelMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, 4, 8, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for channel mismatch")
+		}
+	}()
+	conv.Forward(tensor.New(1, 3, 10, 10))
+}
+
+func TestConvDirectMatchesIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := NewConv2D(rng, 3, 5, 3, 1)
+	b := &Conv2D{InC: 3, OutC: 5, Geom: a.Geom, Algo: ConvDirect,
+		Weight: &Param{Name: "w", Value: a.Weight.Value.Clone(), Grad: tensor.New(a.Weight.Value.Shape()...)},
+		Bias:   &Param{Name: "b", Value: a.Bias.Value.Clone(), Grad: tensor.New(a.Bias.Value.Shape()...)},
+	}
+	x := tensor.New(2, 3, 12, 12)
+	x.RandNormal(rng, 0, 1)
+	ya := a.Forward(x)
+	yb := b.Forward(x)
+	if !ya.AllClose(yb, 1e-4, 1e-4) {
+		t.Fatal("direct and im2col conv disagree")
+	}
+}
+
+func TestMaxPoolKnownValues(t *testing.T) {
+	pool := NewMaxPool2D(2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	y := pool.Forward(x)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("pool[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRouting(t *testing.T) {
+	pool := NewMaxPool2D(2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 1, 2, 2)
+	pool.Forward(x)
+	g := tensor.FromSlice([]float32{10}, 1, 1, 1, 1)
+	gi := pool.Backward(g)
+	// All gradient must land on the max element (value 4, index 3).
+	want := []float32{0, 0, 0, 10}
+	for i, w := range want {
+		if gi.Data()[i] != w {
+			t.Fatalf("gradIn[%d] = %v, want %v", i, gi.Data()[i], w)
+		}
+	}
+}
+
+func TestAdaptivePoolFixedOutput(t *testing.T) {
+	pool := NewAdaptiveMaxPool2D(2)
+	for _, hw := range [][2]int{{4, 4}, {7, 5}, {13, 25}, {2, 2}} {
+		x := tensor.New(1, 3, hw[0], hw[1])
+		y := pool.Forward(x)
+		if y.Dim(2) != 2 || y.Dim(3) != 2 {
+			t.Fatalf("adaptive pool output %v for input %v", y.Shape(), hw)
+		}
+	}
+}
+
+func TestAdaptivePoolBinsCoverInput(t *testing.T) {
+	// Every input element must be reachable: pooling a one-hot input must
+	// propagate the hot value to exactly one output cell.
+	pool := NewAdaptiveMaxPool2D(3)
+	for hot := 0; hot < 35; hot++ {
+		x := tensor.New(1, 1, 5, 7)
+		x.Fill(-1)
+		x.Data()[hot] = 5
+		y := pool.Forward(x)
+		found := false
+		for _, v := range y.Data() {
+			if v == 5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("input element %d not covered by any adaptive bin", hot)
+		}
+	}
+}
+
+func TestSPPFixedLengthAcrossSizes(t *testing.T) {
+	spp := NewSPP(4, 2, 1)
+	c := 8
+	wantF := c * (16 + 4 + 1)
+	for _, hw := range [][2]int{{12, 12}, {25, 25}, {7, 19}, {100, 100}} {
+		x := tensor.New(2, c, hw[0], hw[1])
+		y := spp.Forward(x)
+		if y.Dim(0) != 2 || y.Dim(1) != wantF {
+			t.Fatalf("SPP output %v for input %v, want [2 %d]", y.Shape(), hw, wantF)
+		}
+	}
+}
+
+func TestSPPOutFeatures(t *testing.T) {
+	spp := NewSPP(5, 2, 1)
+	if got := spp.OutFeatures(256); got != 256*(25+4+1) {
+		t.Fatalf("OutFeatures = %d", got)
+	}
+}
+
+func TestSPPInvalidLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for level 0")
+		}
+	}()
+	NewSPP(4, 0)
+}
+
+func TestLinearKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lin := NewLinear(rng, 2, 2)
+	lin.Weight.Value.CopyFrom(tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2))
+	lin.Bias.Value.CopyFrom(tensor.FromSlice([]float32{10, 20}, 2))
+	x := tensor.FromSlice([]float32{1, 1}, 1, 2)
+	y := lin.Forward(x)
+	// y = [1+2+10, 3+4+20]
+	if y.At(0, 0) != 13 || y.At(0, 1) != 27 {
+		t.Fatalf("linear output %v", y.Data())
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := tensor.New(2, 3, 4, 5)
+	y := f.Forward(x)
+	if y.Dim(0) != 2 || y.Dim(1) != 60 {
+		t.Fatalf("flatten shape %v", y.Shape())
+	}
+	g := tensor.New(2, 60)
+	gi := f.Backward(g)
+	if gi.Rank() != 4 || gi.Dim(3) != 5 {
+		t.Fatalf("flatten backward shape %v", gi.Shape())
+	}
+}
+
+func TestReLUClampsNegatives(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 0, 2}, 3)
+	y := r.Forward(x)
+	if y.Data()[0] != 0 || y.Data()[1] != 0 || y.Data()[2] != 2 {
+		t.Fatalf("relu output %v", y.Data())
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(5)), 0.5)
+	d.Training = false
+	x := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	y := d.Forward(x)
+	if !y.Equal(x) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+}
+
+func TestDropoutTrainingPreservesExpectation(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(6)), 0.3)
+	x := tensor.New(10000)
+	x.Fill(1)
+	y := d.Forward(x)
+	mean := y.Mean()
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("inverted dropout mean = %v, want ≈1", mean)
+	}
+}
+
+func TestBCEWithLogitsKnown(t *testing.T) {
+	logits := tensor.FromSlice([]float32{0}, 1)
+	targets := tensor.FromSlice([]float32{1}, 1)
+	loss, grad := BCEWithLogitsLoss(logits, targets)
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("BCE(0,1) = %v, want ln2", loss)
+	}
+	if math.Abs(float64(grad.Data()[0])+0.5) > 1e-6 {
+		t.Fatalf("grad = %v, want -0.5", grad.Data()[0])
+	}
+}
+
+func TestBCEGradientNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := tensor.New(6)
+	logits.RandNormal(rng, 0, 2)
+	targets := tensor.FromSlice([]float32{1, 0, 1, 1, 0, 0}, 6)
+	_, grad := BCEWithLogitsLoss(logits, targets)
+	const eps = 1e-3
+	for i := 0; i < logits.Len(); i++ {
+		orig := logits.Data()[i]
+		logits.Data()[i] = orig + eps
+		lp, _ := BCEWithLogitsLoss(logits, targets)
+		logits.Data()[i] = orig - eps
+		lm, _ := BCEWithLogitsLoss(logits, targets)
+		logits.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data()[i])) > 1e-3 {
+			t.Fatalf("BCE grad[%d] = %v, numeric %v", i, grad.Data()[i], num)
+		}
+	}
+}
+
+func TestSmoothL1Regions(t *testing.T) {
+	pred := tensor.FromSlice([]float32{0.5, 3}, 2, 1)
+	target := tensor.FromSlice([]float32{0, 0}, 2, 1)
+	loss, grad := SmoothL1Loss(pred, target, nil)
+	// Elements: quadratic 0.5*0.25=0.125, linear 3-0.5=2.5; mean over 2.
+	want := (0.125 + 2.5) / 2
+	if math.Abs(loss-want) > 1e-6 {
+		t.Fatalf("smoothL1 = %v, want %v", loss, want)
+	}
+	if math.Abs(float64(grad.At(0, 0))-0.25) > 1e-6 {
+		t.Fatalf("quadratic-region grad = %v, want 0.25", grad.At(0, 0))
+	}
+	if math.Abs(float64(grad.At(1, 0))-0.5) > 1e-6 {
+		t.Fatalf("linear-region grad = %v, want 0.5", grad.At(1, 0))
+	}
+}
+
+func TestSmoothL1MaskExcludesNegatives(t *testing.T) {
+	pred := tensor.FromSlice([]float32{10, 10}, 2, 1)
+	target := tensor.FromSlice([]float32{0, 0}, 2, 1)
+	loss, grad := SmoothL1Loss(pred, target, []bool{true, false})
+	if grad.At(1, 0) != 0 {
+		t.Fatal("masked sample must have zero gradient")
+	}
+	if loss != 9.5 {
+		t.Fatalf("masked loss = %v, want 9.5", loss)
+	}
+}
+
+func TestSmoothL1AllMaskedIsZero(t *testing.T) {
+	pred := tensor.FromSlice([]float32{10}, 1, 1)
+	target := tensor.FromSlice([]float32{0}, 1, 1)
+	loss, grad := SmoothL1Loss(pred, target, []bool{false})
+	if loss != 0 || grad.At(0, 0) != 0 {
+		t.Fatal("fully masked loss must be zero")
+	}
+}
+
+func TestDetectionLossGradientShape(t *testing.T) {
+	dl := &DetectionLoss{BoxWeight: 1}
+	out := tensor.New(3, 5)
+	targets := []DetectionTarget{
+		{HasObject: true, CX: 0.5, CY: 0.5, W: 0.2, H: 0.2},
+		{HasObject: false},
+		{HasObject: true, CX: 0.3, CY: 0.7, W: 0.1, H: 0.4},
+	}
+	loss, grad := dl.Compute(out, targets)
+	if loss <= 0 {
+		t.Fatalf("loss = %v, want > 0", loss)
+	}
+	if grad.Dim(0) != 3 || grad.Dim(1) != 5 {
+		t.Fatalf("grad shape %v", grad.Shape())
+	}
+	// Negative sample must have zero box gradient but nonzero objectness.
+	if grad.At(1, 1) != 0 || grad.At(1, 2) != 0 {
+		t.Fatal("negative sample box gradient must be zero")
+	}
+	if grad.At(1, 0) == 0 {
+		t.Fatal("negative sample objectness gradient must be nonzero")
+	}
+}
+
+func TestDetectionLossNumericGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dl := &DetectionLoss{BoxWeight: 2}
+	out := tensor.New(4, 5)
+	out.RandNormal(rng, 0, 0.5)
+	targets := []DetectionTarget{
+		{HasObject: true, CX: 0.5, CY: 0.5, W: 0.2, H: 0.2},
+		{HasObject: false},
+		{HasObject: true, CX: 0.2, CY: 0.8, W: 0.3, H: 0.1},
+		{HasObject: false},
+	}
+	_, grad := dl.Compute(out, targets)
+	const eps = 1e-3
+	for i := 0; i < out.Len(); i++ {
+		orig := out.Data()[i]
+		out.Data()[i] = orig + eps
+		lp, _ := dl.Compute(out, targets)
+		out.Data()[i] = orig - eps
+		lm, _ := dl.Compute(out, targets)
+		out.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data()[i])) > 2e-3 {
+			t.Fatalf("detection grad[%d] = %v, numeric %v", i, grad.Data()[i], num)
+		}
+	}
+}
+
+func TestSequentialParamsAndZeroGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewSequential(
+		NewConv2D(rng, 1, 2, 3, 1),
+		NewReLU(),
+		NewLinear(rng, 10, 2),
+	)
+	ps := net.Params()
+	if len(ps) != 4 { // conv w+b, linear w+b
+		t.Fatalf("params = %d, want 4", len(ps))
+	}
+	ps[0].Grad.Fill(3)
+	net.ZeroGrad()
+	if ps[0].Grad.Sum() != 0 {
+		t.Fatal("ZeroGrad did not clear gradients")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lin := NewLinear(rng, 10, 4)
+	if got := ParamCount(lin); got != 44 {
+		t.Fatalf("ParamCount = %d, want 44", got)
+	}
+}
+
+func TestSequentialOutShapeMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewSequential(
+		NewConv2D(rng, 4, 8, 5, 1),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewSPP(4, 2, 1),
+		NewLinear(rng, 8*21, 16),
+	)
+	in := []int{3, 4, 40, 40}
+	want := net.OutShape(in)
+	x := tensor.New(in...)
+	x.RandNormal(rng, 0, 1)
+	y := net.Forward(x)
+	for i := range want {
+		if y.Shape()[i] != want[i] {
+			t.Fatalf("OutShape %v, forward %v", want, y.Shape())
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"drainnet/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over N×C×H×W input with a square
+// window, matching the paper's P_{size,stride} notation.
+type MaxPool2D struct {
+	Geom tensor.ConvGeom
+
+	inShape []int
+	argmax  []int32 // flat input index chosen for each output element
+}
+
+// NewMaxPool2D creates a k×k max pool with the given stride and no padding.
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	return &MaxPool2D{Geom: tensor.ConvGeom{KH: k, KW: k, StrideH: stride, StrideW: stride}}
+}
+
+// Params implements Module.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Module.
+func (p *MaxPool2D) OutShape(in []int) []int {
+	oh, ow := p.Geom.OutSize(in[2], in[3])
+	return []int{in[0], in[1], oh, ow}
+}
+
+// Forward implements Module.
+func (p *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank(x, 4, "MaxPool2D")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if err := p.Geom.Validate(h, w); err != nil {
+		panic(err)
+	}
+	oh, ow := p.Geom.OutSize(h, w)
+	p.inShape = append([]int(nil), x.Shape()...)
+	out := tensor.New(n, c, oh, ow)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int32, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	g := p.Geom
+	xd := x.Data()
+	od := out.Data()
+	tensor.ParallelFor(n*c, func(nc int) {
+		inBase := nc * h * w
+		outBase := nc * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				bestAt := int32(-1)
+				for kh := 0; kh < g.KH; kh++ {
+					iy := oy*g.StrideH + kh
+					if iy >= h {
+						break
+					}
+					for kw := 0; kw < g.KW; kw++ {
+						ix := ox*g.StrideW + kw
+						if ix >= w {
+							break
+						}
+						v := xd[inBase+iy*w+ix]
+						if v > best {
+							best = v
+							bestAt = int32(inBase + iy*w + ix)
+						}
+					}
+				}
+				od[outBase+oy*ow+ox] = best
+				p.argmax[outBase+oy*ow+ox] = bestAt
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Module.
+func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(p.inShape...)
+	gd := gradOut.Data()
+	gi := gradIn.Data()
+	if len(gd) != len(p.argmax) {
+		panic(fmt.Sprintf("nn: MaxPool2D.Backward gradient length %d, want %d", len(gd), len(p.argmax)))
+	}
+	for i, at := range p.argmax {
+		if at >= 0 {
+			gi[at] += gd[i]
+		}
+	}
+	return gradIn
+}
+
+// AdaptiveMaxPool2D pools an N×C×H×W input to a fixed N×C×OutH×OutW output
+// using PyTorch-style adaptive bins: bin i covers
+// [floor(i*H/Out), ceil((i+1)*H/Out)). This is the building block of the
+// SPP layer, which is what lets SPP-Net accept arbitrary input sizes.
+type AdaptiveMaxPool2D struct {
+	OutH, OutW int
+
+	inShape []int
+	argmax  []int32
+}
+
+// NewAdaptiveMaxPool2D creates an adaptive max pool with an out×out target.
+func NewAdaptiveMaxPool2D(out int) *AdaptiveMaxPool2D {
+	return &AdaptiveMaxPool2D{OutH: out, OutW: out}
+}
+
+// Params implements Module.
+func (p *AdaptiveMaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Module.
+func (p *AdaptiveMaxPool2D) OutShape(in []int) []int {
+	return []int{in[0], in[1], p.OutH, p.OutW}
+}
+
+func binBounds(i, in, out int) (lo, hi int) {
+	lo = i * in / out
+	hi = ((i+1)*in + out - 1) / out
+	if hi > in {
+		hi = in
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// Forward implements Module.
+func (p *AdaptiveMaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	checkRank(x, 4, "AdaptiveMaxPool2D")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h < 1 || w < 1 {
+		panic("nn: AdaptiveMaxPool2D empty input")
+	}
+	p.inShape = append([]int(nil), x.Shape()...)
+	out := tensor.New(n, c, p.OutH, p.OutW)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int32, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	xd := x.Data()
+	od := out.Data()
+	tensor.ParallelFor(n*c, func(nc int) {
+		inBase := nc * h * w
+		outBase := nc * p.OutH * p.OutW
+		for oy := 0; oy < p.OutH; oy++ {
+			y0, y1 := binBounds(oy, h, p.OutH)
+			for ox := 0; ox < p.OutW; ox++ {
+				x0, x1 := binBounds(ox, w, p.OutW)
+				best := float32(math.Inf(-1))
+				bestAt := int32(-1)
+				for iy := y0; iy < y1; iy++ {
+					for ix := x0; ix < x1; ix++ {
+						v := xd[inBase+iy*w+ix]
+						if v > best {
+							best = v
+							bestAt = int32(inBase + iy*w + ix)
+						}
+					}
+				}
+				od[outBase+oy*p.OutW+ox] = best
+				p.argmax[outBase+oy*p.OutW+ox] = bestAt
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Module.
+func (p *AdaptiveMaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(p.inShape...)
+	gd := gradOut.Data()
+	gi := gradIn.Data()
+	for i, at := range p.argmax {
+		if at >= 0 {
+			gi[at] += gd[i]
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"drainnet/internal/tensor"
+)
+
+// LogSoftmax computes row-wise log-softmax of an N×K tensor with the
+// max-subtraction trick for stability.
+func LogSoftmax(logits *tensor.Tensor) *tensor.Tensor {
+	checkRank(logits, 2, "LogSoftmax")
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data()[i*k : (i+1)*k]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		logZ := float64(maxV) + math.Log(sum)
+		for j, v := range row {
+			out.Data()[i*k+j] = float32(float64(v) - logZ)
+		}
+	}
+	return out
+}
+
+// Softmax computes row-wise softmax probabilities of an N×K tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	out := LogSoftmax(logits)
+	out.Apply(func(v float32) float32 { return float32(math.Exp(float64(v))) })
+	return out
+}
+
+// CrossEntropyLoss computes the mean negative log-likelihood of the
+// integer class labels under row-wise softmax of logits (N×K), returning
+// the scalar loss and dL/d(logits). This is the loss for the
+// classification formulation of drainage-crossing detection (Wu et al.
+// 2023, the paper's predecessor task).
+func CrossEntropyLoss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	checkRank(logits, 2, "CrossEntropyLoss")
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), n))
+	}
+	logp := LogSoftmax(logits)
+	grad := tensor.New(n, k)
+	var loss float64
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		loss -= float64(logp.At(i, y))
+		for j := 0; j < k; j++ {
+			p := float32(math.Exp(float64(logp.At(i, j))))
+			if j == y {
+				p -= 1
+			}
+			grad.Set(p*float32(inv), i, j)
+		}
+	}
+	return loss * inv, grad
+}
+
+// Argmax returns the per-row argmax class of an N×K tensor.
+func Argmax(logits *tensor.Tensor) []int {
+	checkRank(logits, 2, "Argmax")
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := logits.Data()[i*k : (i+1)*k]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

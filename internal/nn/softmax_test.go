@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	logits := tensor.New(5, 7)
+	logits.RandNormal(rng, 0, 3)
+	p := Softmax(logits)
+	for i := 0; i < 5; i++ {
+		var sum float64
+		for j := 0; j < 7; j++ {
+			v := float64(p.At(i, j))
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestLogSoftmaxStableForHugeLogits(t *testing.T) {
+	logits := tensor.FromSlice([]float32{1000, 1001, 999}, 1, 3)
+	lp := LogSoftmax(logits)
+	for _, v := range lp.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("unstable log-softmax: %v", lp.Data())
+		}
+	}
+	// The largest logit must have the largest log-probability.
+	if !(lp.At(0, 1) > lp.At(0, 0) && lp.At(0, 0) > lp.At(0, 2)) {
+		t.Fatalf("ordering broken: %v", lp.Data())
+	}
+}
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over K classes → loss = ln K.
+	logits := tensor.New(2, 4)
+	loss, _ := CrossEntropyLoss(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("uniform CE = %v, want ln 4", loss)
+	}
+}
+
+func TestCrossEntropyGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	logits := tensor.New(3, 5)
+	logits.RandNormal(rng, 0, 1)
+	labels := []int{1, 4, 0}
+	_, grad := CrossEntropyLoss(logits, labels)
+	const eps = 1e-3
+	for i := 0; i < logits.Len(); i++ {
+		orig := logits.Data()[i]
+		logits.Data()[i] = orig + eps
+		lp, _ := CrossEntropyLoss(logits, labels)
+		logits.Data()[i] = orig - eps
+		lm, _ := CrossEntropyLoss(logits, labels)
+		logits.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-float64(grad.Data()[i])) > 2e-3 {
+			t.Fatalf("CE grad[%d] = %v, numeric %v", i, grad.Data()[i], num)
+		}
+	}
+}
+
+func TestCrossEntropyBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CrossEntropyLoss(tensor.New(1, 3), []int{5})
+}
+
+func TestArgmax(t *testing.T) {
+	logits := tensor.FromSlice([]float32{0, 2, 1, 9, -1, 3}, 2, 3)
+	got := Argmax(logits)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("argmax = %v", got)
+	}
+}
+
+func TestClassifierLearnsXORish(t *testing.T) {
+	// A two-layer MLP with softmax CE must learn a simple nonlinear
+	// 2-class problem (points inside vs outside a band).
+	rng := rand.New(rand.NewSource(63))
+	net := NewSequential(
+		NewLinear(rng, 2, 16),
+		NewReLU(),
+		NewLinear(rng, 16, 2),
+	)
+	n := 256
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x.Set(float32(a), i, 0)
+		x.Set(float32(b), i, 1)
+		if a*b > 0 {
+			labels[i] = 1
+		}
+	}
+	for epoch := 0; epoch < 300; epoch++ {
+		out := net.Forward(x)
+		_, grad := CrossEntropyLoss(out, labels)
+		for _, p := range net.Params() {
+			p.ZeroGrad()
+		}
+		net.Backward(grad)
+		for _, p := range net.Params() {
+			p.Value.AddScaled(p.Grad, -0.5)
+		}
+	}
+	pred := Argmax(net.Forward(x))
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.9 {
+		t.Fatalf("XOR-ish accuracy = %v, want ≥ 0.9", acc)
+	}
+}

@@ -1,0 +1,77 @@
+package profiler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"drainnet/internal/gpu"
+)
+
+// KernelStat is one kernel's aggregate statistics across a profiled run,
+// mirroring the per-kernel rows of `nsys profile --stats=true`.
+type KernelStat struct {
+	Name    string
+	Class   string
+	Calls   int
+	TotalNs float64
+	AvgNs   float64
+	MinNs   float64
+	MaxNs   float64
+	Percent float64 // of total kernel time
+}
+
+// KernelStatsReport is the per-kernel summary table.
+type KernelStatsReport struct {
+	TotalNs float64
+	Rows    []KernelStat // descending by total time
+}
+
+// KernelStats aggregates kernel events by kernel name.
+func KernelStats(events []gpu.Event) KernelStatsReport {
+	byName := map[string]*KernelStat{}
+	var total float64
+	for _, e := range events {
+		if e.Kind != gpu.EvKernel {
+			continue
+		}
+		s := byName[e.Name]
+		if s == nil {
+			s = &KernelStat{Name: e.Name, Class: e.Class, MinNs: math.Inf(1)}
+			byName[e.Name] = s
+		}
+		s.Calls++
+		s.TotalNs += e.DurNs
+		if e.DurNs < s.MinNs {
+			s.MinNs = e.DurNs
+		}
+		if e.DurNs > s.MaxNs {
+			s.MaxNs = e.DurNs
+		}
+		total += e.DurNs
+	}
+	rep := KernelStatsReport{TotalNs: total}
+	for _, s := range byName {
+		s.AvgNs = s.TotalNs / float64(s.Calls)
+		if total > 0 {
+			s.Percent = s.TotalNs / total * 100
+		}
+		rep.Rows = append(rep.Rows, *s)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].TotalNs > rep.Rows[j].TotalNs })
+	return rep
+}
+
+// Render writes the nsys-style stats table.
+func (r KernelStatsReport) Render() string {
+	var b strings.Builder
+	b.WriteString("per-kernel statistics (nsys --stats style):\n")
+	fmt.Fprintf(&b, "  %7s %7s %12s %12s %12s %12s  %-16s %s\n",
+		"time%", "calls", "total ns", "avg ns", "min ns", "max ns", "class", "kernel")
+	for _, s := range r.Rows {
+		fmt.Fprintf(&b, "  %6.1f%% %7d %12.0f %12.0f %12.0f %12.0f  %-16s %s\n",
+			s.Percent, s.Calls, s.TotalNs, s.AvgNs, s.MinNs, s.MaxNs, s.Class, s.Name)
+	}
+	return b.String()
+}

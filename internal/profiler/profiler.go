@@ -1,0 +1,193 @@
+// Package profiler is the repo's Nsight-Systems analog: it consumes the
+// event ledger produced by the GPU simulator and renders the three report
+// families the paper presents — GPU memory-operation timing (Fig 7), CUDA
+// API time shares (Fig 8), and the kernel-class breakdown (Table 3).
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drainnet/internal/gpu"
+	"drainnet/internal/graph"
+	"drainnet/internal/ios"
+)
+
+// MemopsReport summarizes host↔device memory operations (Fig 7).
+type MemopsReport struct {
+	Batch       int
+	Transfers   int
+	TotalNs     float64
+	BytesMoved  int64
+	PerSampleNs float64 // the paper's "GPU memops timing usage" per inferred image
+}
+
+// APIShare is one CUDA API's share of total API time (Fig 8).
+type APIShare struct {
+	API     string
+	Calls   int
+	TotalNs float64
+	Percent float64
+}
+
+// APIUsageReport summarizes CPU-side CUDA API time (Fig 8).
+type APIUsageReport struct {
+	Batch   int
+	TotalNs float64
+	Shares  []APIShare // sorted by descending time
+}
+
+// Share returns the percentage for one API name (0 if absent).
+func (r APIUsageReport) Share(api string) float64 {
+	for _, s := range r.Shares {
+		if s.API == api {
+			return s.Percent
+		}
+	}
+	return 0
+}
+
+// KernelClassShare is one kernel class's share of GPU kernel time (Table 3).
+type KernelClassShare struct {
+	Class   string
+	Kernels int
+	TotalNs float64
+	Percent float64
+}
+
+// KernelReport summarizes GPU kernel time by class (Table 3).
+type KernelReport struct {
+	Batch   int
+	TotalNs float64
+	Shares  []KernelClassShare
+}
+
+// Share returns the percentage for one kernel class (0 if absent).
+func (r KernelReport) Share(class string) float64 {
+	for _, s := range r.Shares {
+		if s.Class == class {
+			return s.Percent
+		}
+	}
+	return 0
+}
+
+// Memops builds the memory-operation report from a ledger.
+func Memops(events []gpu.Event, batch int) MemopsReport {
+	r := MemopsReport{Batch: batch}
+	for _, e := range events {
+		if e.Kind == gpu.EvMemcpyH2D || e.Kind == gpu.EvMemcpyD2H {
+			r.Transfers++
+			r.TotalNs += e.DurNs
+			r.BytesMoved += e.Bytes
+		}
+	}
+	if batch > 0 {
+		r.PerSampleNs = r.TotalNs / float64(batch)
+	}
+	return r
+}
+
+// APIUsage builds the CUDA-API report from a ledger. Every CPU-side API
+// call (library load, kernel launches, memcpys, synchronizations) counts
+// toward the total; percentages are of total API time, matching how nsys
+// reports its "CUDA API" summary.
+func APIUsage(events []gpu.Event, batch int) APIUsageReport {
+	byAPI := map[string]*APIShare{}
+	var total float64
+	for _, e := range events {
+		if !e.Kind.IsAPI() {
+			continue
+		}
+		name := e.Kind.String()
+		s := byAPI[name]
+		if s == nil {
+			s = &APIShare{API: name}
+			byAPI[name] = s
+		}
+		s.Calls++
+		s.TotalNs += e.DurNs
+		total += e.DurNs
+	}
+	rep := APIUsageReport{Batch: batch, TotalNs: total}
+	for _, s := range byAPI {
+		if total > 0 {
+			s.Percent = s.TotalNs / total * 100
+		}
+		rep.Shares = append(rep.Shares, *s)
+	}
+	sort.Slice(rep.Shares, func(i, j int) bool { return rep.Shares[i].TotalNs > rep.Shares[j].TotalNs })
+	return rep
+}
+
+// Kernels builds the kernel-class report from a ledger.
+func Kernels(events []gpu.Event, batch int) KernelReport {
+	byClass := map[string]*KernelClassShare{}
+	var total float64
+	for _, e := range events {
+		if e.Kind != gpu.EvKernel {
+			continue
+		}
+		s := byClass[e.Class]
+		if s == nil {
+			s = &KernelClassShare{Class: e.Class}
+			byClass[e.Class] = s
+		}
+		s.Kernels++
+		s.TotalNs += e.DurNs
+		total += e.DurNs
+	}
+	rep := KernelReport{Batch: batch, TotalNs: total}
+	for _, s := range byClass {
+		if total > 0 {
+			s.Percent = s.TotalNs / total * 100
+		}
+		rep.Shares = append(rep.Shares, *s)
+	}
+	sort.Slice(rep.Shares, func(i, j int) bool { return rep.Shares[i].TotalNs > rep.Shares[j].TotalNs })
+	return rep
+}
+
+// Profile is the combined output of one profiled inference run.
+type Profile struct {
+	Batch   int
+	Memops  MemopsReport
+	API     APIUsageReport
+	Kernels KernelReport
+	Events  []gpu.Event
+}
+
+// Run profiles one cold-process inference (including the one-time library
+// load, which is what nsys sees when profiling a fresh `python model.py`)
+// of graph g under schedule sched at the given batch size.
+func Run(dev gpu.DeviceConfig, g *graph.Graph, sched *ios.Schedule, batch int) Profile {
+	rt := ios.NewRuntime(dev)
+	sim := gpu.NewSim(dev)
+	rt.Run(sim, g, sched, batch)
+	ev := sim.Events()
+	return Profile{
+		Batch:   batch,
+		Memops:  Memops(ev, batch),
+		API:     APIUsage(ev, batch),
+		Kernels: Kernels(ev, batch),
+		Events:  ev,
+	}
+}
+
+// Render writes a human-readable nsys-style summary.
+func (p Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== profile (batch %d) ==\n", p.Batch)
+	fmt.Fprintf(&b, "GPU memops: %d transfers, %.0f ns total, %.0f ns/image, %d bytes\n",
+		p.Memops.Transfers, p.Memops.TotalNs, p.Memops.PerSampleNs, p.Memops.BytesMoved)
+	b.WriteString("CUDA API usage:\n")
+	for _, s := range p.API.Shares {
+		fmt.Fprintf(&b, "  %-22s %6.2f%%  (%d calls, %.0f ns)\n", s.API, s.Percent, s.Calls, s.TotalNs)
+	}
+	b.WriteString("GPU kernel classes:\n")
+	for _, s := range p.Kernels.Shares {
+		fmt.Fprintf(&b, "  %-22s %6.2f%%  (%d kernels, %.0f ns)\n", s.Class, s.Percent, s.Kernels, s.TotalNs)
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"drainnet/internal/gpu"
+	"drainnet/internal/graph"
+	"drainnet/internal/ios"
+)
+
+func sppNet2Graph() *graph.Graph {
+	g := graph.NewGraph("sppnet2", 4, 100, 100)
+	x := g.Conv(g.In, "conv1", 64, 3, 1)
+	x = g.Pool(x, "pool1", 2, 2)
+	x = g.Conv(x, "conv2", 128, 3, 1)
+	x = g.Pool(x, "pool2", 2, 2)
+	x = g.Conv(x, "conv3", 256, 3, 1)
+	x = g.Pool(x, "pool3", 2, 2)
+	a := g.AdaptivePool(x, "spp5", 5)
+	b := g.AdaptivePool(x, "spp2", 2)
+	c := g.AdaptivePool(x, "spp1", 1)
+	cat := g.Concat([]*graph.Node{a, b, c}, "concat")
+	h := g.FC(cat, "fc1", 4096)
+	g.FC(h, "head", 5)
+	return g
+}
+
+func profileBatch(t *testing.T, batch int) Profile {
+	t.Helper()
+	dev := gpu.RTXA5500()
+	g := sppNet2Graph()
+	sched, err := ios.Optimize(g, ios.NewSimOracle(dev), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(dev, g, sched, batch)
+}
+
+func TestMemopsCountsTransfers(t *testing.T) {
+	p := profileBatch(t, 4)
+	if p.Memops.Transfers != 2 { // one H2D input, one D2H output
+		t.Fatalf("transfers = %d, want 2", p.Memops.Transfers)
+	}
+	wantBytes := int64(4*100*100*4*4 + 4*5*4)
+	if p.Memops.BytesMoved != wantBytes {
+		t.Fatalf("bytes = %d, want %d", p.Memops.BytesMoved, wantBytes)
+	}
+}
+
+func TestMemopsPerSampleStabilizes(t *testing.T) {
+	// Fig 7: per-image memop timing falls with batch and stabilizes once
+	// the fixed transfer overhead amortizes (by batch 16).
+	per := map[int]float64{}
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
+		per[b] = profileBatch(t, b).Memops.PerSampleNs
+	}
+	if !(per[1] > per[4] && per[4] > per[16]) {
+		t.Fatalf("per-sample memops should fall with batch: %v", per)
+	}
+	// Stabilized: batch 16 → 64 changes by < 5%.
+	if diff := (per[16] - per[64]) / per[16]; diff > 0.05 {
+		t.Fatalf("memops not stabilized by batch 16: %v", per)
+	}
+}
+
+func TestMemopsCalibrationNearPaper(t *testing.T) {
+	// The paper reports stabilization at 19168 ns; our calibration should
+	// land within 15% at batch 64.
+	got := profileBatch(t, 64).Memops.PerSampleNs
+	if got < 19168*0.85 || got > 19168*1.15 {
+		t.Fatalf("stabilized memops = %.0f ns/image, want ≈19168", got)
+	}
+}
+
+func TestAPIUsageSharesSumTo100(t *testing.T) {
+	p := profileBatch(t, 8)
+	var sum float64
+	for _, s := range p.API.Shares {
+		sum += s.Percent
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("API shares sum to %v", sum)
+	}
+}
+
+func TestAPILibraryLoadDominatesAtBatch1(t *testing.T) {
+	// Fig 8: at batch 1 cuLibraryLoadData takes the large majority of API
+	// time and cudaDeviceSynchronize is negligible.
+	p := profileBatch(t, 1)
+	lib := p.API.Share("cuLibraryLoadData")
+	sync := p.API.Share("cudaDeviceSynchronize")
+	if lib < 50 {
+		t.Fatalf("cuLibraryLoadData share at batch 1 = %.1f%%, want > 50%%", lib)
+	}
+	if sync > 20 {
+		t.Fatalf("cudaDeviceSynchronize share at batch 1 = %.1f%%, want small", sync)
+	}
+	if lib <= sync {
+		t.Fatal("library load must dominate sync at batch 1")
+	}
+}
+
+func TestAPISyncOvertakesLibraryLoadAtBatch64(t *testing.T) {
+	// Fig 8: by batch 64 cudaDeviceSynchronize exceeds cuLibraryLoadData.
+	p := profileBatch(t, 64)
+	lib := p.API.Share("cuLibraryLoadData")
+	sync := p.API.Share("cudaDeviceSynchronize")
+	if sync <= lib {
+		t.Fatalf("sync (%.1f%%) must exceed library load (%.1f%%) at batch 64", sync, lib)
+	}
+}
+
+func TestAPISyncShareMonotonicInBatch(t *testing.T) {
+	prev := -1.0
+	for _, b := range []int{1, 4, 16, 64} {
+		s := profileBatch(t, b).API.Share("cudaDeviceSynchronize")
+		if s < prev {
+			t.Fatalf("sync share fell from %.2f to %.2f at batch %d", prev, s, b)
+		}
+		prev = s
+	}
+}
+
+func TestKernelSharesSumTo100(t *testing.T) {
+	p := profileBatch(t, 16)
+	var sum float64
+	for _, s := range p.Kernels.Shares {
+		sum += s.Percent
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("kernel shares sum to %v", sum)
+	}
+}
+
+func TestKernelMatMulDominatesAtBatch1(t *testing.T) {
+	// Table 3 row 1: at batch 1 the FC (matmul) kernels dominate because
+	// the GEMV reads the full weight matrix at low occupancy.
+	p := profileBatch(t, 1)
+	mm := p.Kernels.Share("MatMul")
+	conv := p.Kernels.Share("Conv")
+	if mm <= conv {
+		t.Fatalf("batch 1: matmul (%.1f%%) must exceed conv (%.1f%%)", mm, conv)
+	}
+	if mm < 30 {
+		t.Fatalf("batch 1 matmul share = %.1f%%, want ≥ 30%%", mm)
+	}
+}
+
+func TestKernelConvDominatesAtBatch64(t *testing.T) {
+	// Table 3 row 7: at batch 64 convolution seizes the lion's share.
+	p := profileBatch(t, 64)
+	conv := p.Kernels.Share("Conv")
+	mm := p.Kernels.Share("MatMul")
+	pool := p.Kernels.Share("Pooling")
+	if conv <= mm || conv <= pool {
+		t.Fatalf("batch 64: conv (%.1f%%) must dominate matmul (%.1f%%) and pooling (%.1f%%)", conv, mm, pool)
+	}
+	if conv < 50 {
+		t.Fatalf("batch 64 conv share = %.1f%%, want ≥ 50%%", conv)
+	}
+}
+
+func TestKernelTrendAcrossBatches(t *testing.T) {
+	// Table 3 trend: matmul share shrinks, conv share grows with batch.
+	shares := func(b int) (mm, conv float64) {
+		p := profileBatch(t, b)
+		return p.Kernels.Share("MatMul"), p.Kernels.Share("Conv")
+	}
+	mm1, conv1 := shares(1)
+	mm64, conv64 := shares(64)
+	if mm64 >= mm1 {
+		t.Fatalf("matmul share must shrink: %.1f%% → %.1f%%", mm1, mm64)
+	}
+	if conv64 <= conv1 {
+		t.Fatalf("conv share must grow: %.1f%% → %.1f%%", conv1, conv64)
+	}
+}
+
+func TestRenderMentionsSections(t *testing.T) {
+	p := profileBatch(t, 2)
+	out := p.Render()
+	for _, want := range []string{"GPU memops", "CUDA API usage", "GPU kernel classes", "cuLibraryLoadData"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyLedgerReports(t *testing.T) {
+	if r := Memops(nil, 1); r.Transfers != 0 || r.TotalNs != 0 {
+		t.Fatal("empty memops must be zero")
+	}
+	if r := APIUsage(nil, 1); len(r.Shares) != 0 {
+		t.Fatal("empty API usage must be empty")
+	}
+	if r := Kernels(nil, 1); len(r.Shares) != 0 {
+		t.Fatal("empty kernel report must be empty")
+	}
+}
+
+func TestKernelStatsAggregation(t *testing.T) {
+	p := profileBatch(t, 4)
+	stats := KernelStats(p.Events)
+	if len(stats.Rows) == 0 {
+		t.Fatal("no kernel stats")
+	}
+	var pct, total float64
+	for _, s := range stats.Rows {
+		if s.Calls < 1 || s.AvgNs <= 0 || s.MinNs > s.MaxNs {
+			t.Fatalf("bad stat row %+v", s)
+		}
+		if s.AvgNs < s.MinNs-1e-9 || s.AvgNs > s.MaxNs+1e-9 {
+			t.Fatalf("avg outside [min,max]: %+v", s)
+		}
+		pct += s.Percent
+		total += s.TotalNs
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Fatalf("percents sum to %v", pct)
+	}
+	if diff := total - stats.TotalNs; diff > 1e-6 || diff < -1e-6 {
+		t.Fatal("totals disagree")
+	}
+	// Rows must be sorted by descending total time.
+	for i := 1; i < len(stats.Rows); i++ {
+		if stats.Rows[i].TotalNs > stats.Rows[i-1].TotalNs {
+			t.Fatal("rows not sorted")
+		}
+	}
+	if !strings.Contains(stats.Render(), "kernel") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestKernelStatsEmpty(t *testing.T) {
+	stats := KernelStats(nil)
+	if len(stats.Rows) != 0 || stats.TotalNs != 0 {
+		t.Fatal("empty ledger must give empty stats")
+	}
+}

@@ -1,0 +1,75 @@
+package profiler
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"drainnet/internal/gpu"
+)
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	p := profileBatch(t, 4)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, p.Events); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) != len(p.Events) {
+		t.Fatalf("trace has %d events, ledger has %d", len(events), len(p.Events))
+	}
+	sawKernel, sawAPI := false, false
+	for _, e := range events {
+		switch {
+		case e["cat"] == "cuda-api":
+			sawAPI = true
+			if e["tid"].(float64) != 0 {
+				t.Fatal("API events must be on the CPU track")
+			}
+		default:
+			sawKernel = true
+			if e["tid"].(float64) < 1 {
+				t.Fatal("kernel events must be on GPU stream tracks")
+			}
+		}
+		if e["ph"] != "X" {
+			t.Fatal("all events must be complete events")
+		}
+	}
+	if !sawKernel || !sawAPI {
+		t.Fatal("trace must contain both kernel and API events")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatal("empty ledger must give an empty array")
+	}
+}
+
+func TestTraceCarriesBytesForMemcpy(t *testing.T) {
+	ev := []gpu.Event{{Kind: gpu.EvMemcpyH2D, Name: "input", StartNs: 0, DurNs: 10, Bytes: 4096}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, ev); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	args := events[0]["args"].(map[string]interface{})
+	if args["bytes"].(float64) != 4096 {
+		t.Fatalf("bytes arg = %v", args["bytes"])
+	}
+}

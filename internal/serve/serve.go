@@ -1,0 +1,133 @@
+// Package serve exposes a trained drainage-crossing detector over HTTP:
+// POST a 4-band clip, get a detection back. The layer caches inside a
+// network are not safe for concurrent use, so the server serializes
+// inference with a mutex — throughput scaling belongs to batching (§6.4),
+// not handler parallelism.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"drainnet/internal/metrics"
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+// DetectRequest is the POST /detect payload: a flattened bands×size×size
+// image in row-major order, values in [0,1].
+type DetectRequest struct {
+	Bands  int       `json:"bands"`
+	Size   int       `json:"size"`
+	Pixels []float32 `json:"pixels"`
+}
+
+// DetectResponse is the detection result.
+type DetectResponse struct {
+	Score float64     `json:"score"`
+	Box   metrics.Box `json:"box"`
+	// HasObject applies the server's confidence threshold.
+	HasObject bool `json:"has_object"`
+}
+
+// ModelInfo describes the served model (GET /model).
+type ModelInfo struct {
+	Name      string  `json:"name"`
+	Notation  string  `json:"notation"`
+	InBands   int     `json:"in_bands"`
+	ClipSize  int     `json:"clip_size"`
+	Params    int     `json:"parameters"`
+	Threshold float64 `json:"threshold"`
+}
+
+// Server serves one trained detector.
+type Server struct {
+	cfg       model.Config
+	net       *nn.Sequential
+	threshold float64
+
+	mu sync.Mutex
+}
+
+// New creates a server for a trained network built from cfg. threshold is
+// the objectness confidence cut for HasObject.
+func New(cfg model.Config, net *nn.Sequential, threshold float64) *Server {
+	return &Server{cfg: cfg, net: net, threshold: threshold}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/detect", s.handleDetect)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	info := ModelInfo{
+		Name:      s.cfg.Name,
+		Notation:  s.cfg.Notation(),
+		InBands:   s.cfg.InBands,
+		ClipSize:  s.cfg.InSize,
+		Params:    nn.ParamCount(s.net),
+		Threshold: s.threshold,
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DetectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Bands != s.cfg.InBands {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("model expects %d bands, got %d", s.cfg.InBands, req.Bands))
+		return
+	}
+	if req.Size < 8 {
+		httpError(w, http.StatusBadRequest, "clip too small")
+		return
+	}
+	if len(req.Pixels) != req.Bands*req.Size*req.Size {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("expected %d pixels, got %d", req.Bands*req.Size*req.Size, len(req.Pixels)))
+		return
+	}
+	// SPP-Net accepts any clip size, so req.Size need not equal the
+	// training size.
+	x := tensor.FromSlice(req.Pixels, 1, req.Bands, req.Size, req.Size)
+	s.mu.Lock()
+	det := model.Detect(s.net, x)[0]
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, DetectResponse{
+		Score:     det.Score,
+		Box:       det.Box,
+		HasObject: det.Score >= s.threshold,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing useful to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"drainnet/internal/model"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := model.OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := cfg.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg, net, 0.5)
+}
+
+func postDetect(t *testing.T, ts *httptest.Server, req DetectRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestModelInfo(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.InBands != 4 || info.Params <= 0 || info.Notation == "" {
+		t.Fatalf("info %+v", info)
+	}
+}
+
+func TestDetectValidRequest(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	req := DetectRequest{Bands: 4, Size: 40, Pixels: make([]float32, 4*40*40)}
+	resp := postDetect(t, ts, req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var dr DetectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Score < 0 || dr.Score > 1 {
+		t.Fatalf("score %v", dr.Score)
+	}
+}
+
+func TestDetectVariableClipSize(t *testing.T) {
+	// The SPP property: the served model accepts other clip sizes.
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	req := DetectRequest{Bands: 4, Size: 64, Pixels: make([]float32, 4*64*64)}
+	resp := postDetect(t, ts, req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d for 64×64 clip", resp.StatusCode)
+	}
+}
+
+func TestDetectRejectsBadInputs(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	cases := []DetectRequest{
+		{Bands: 3, Size: 40, Pixels: make([]float32, 3*40*40)}, // wrong bands
+		{Bands: 4, Size: 40, Pixels: make([]float32, 7)},       // wrong length
+		{Bands: 4, Size: 2, Pixels: make([]float32, 16)},       // too small
+	}
+	for i, req := range cases {
+		resp := postDetect(t, ts, req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestDetectRejectsGet(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDetectRejectsGarbageJSON(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/detect", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDetectConcurrentRequests(t *testing.T) {
+	// The server must serialize inference internally; concurrent clients
+	// must all succeed (this races without the mutex).
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := DetectRequest{Bands: 4, Size: 40, Pixels: make([]float32, 4*40*40)}
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/detect", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent request failed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+type ConvGeom struct {
+	KH, KW     int // kernel height/width
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (g ConvGeom) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*g.PadH-g.KH)/g.StrideH + 1
+	ow = (w+2*g.PadW-g.KW)/g.StrideW + 1
+	return oh, ow
+}
+
+// Validate reports an error if the geometry cannot produce a non-empty
+// output for an h×w input.
+func (g ConvGeom) Validate(h, w int) error {
+	if g.KH <= 0 || g.KW <= 0 || g.StrideH <= 0 || g.StrideW <= 0 {
+		return fmt.Errorf("tensor: invalid conv geometry %+v", g)
+	}
+	oh, ow := g.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("tensor: conv geometry %+v yields empty output for %dx%d input", g, h, w)
+	}
+	return nil
+}
+
+// Im2Col lowers a single image (C×H×W tensor) into a matrix of shape
+// (C*KH*KW) × (OH*OW), where each column is the receptive field of one
+// output pixel. Zero padding is applied implicitly.
+func Im2Col(img *Tensor, g ConvGeom) *Tensor {
+	if img.Rank() != 3 {
+		panic("tensor: Im2Col requires a C×H×W tensor")
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	oh, ow := g.OutSize(h, w)
+	cols := New(c*g.KH*g.KW, oh*ow)
+	Im2ColInto(cols, img, g)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a preallocated destination.
+func Im2ColInto(dst, img *Tensor, g ConvGeom) {
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	oh, ow := g.OutSize(h, w)
+	if dst.shape[0] != c*g.KH*g.KW || dst.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColInto destination shape %v, want [%d %d]", dst.shape, c*g.KH*g.KW, oh*ow))
+	}
+	dd := dst.data
+	id := img.data
+	ncols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := ((ch*g.KH+kh)*g.KW + kw) * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					outBase := row + oy*ow
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dd[outBase+ox] = 0
+						}
+						continue
+					}
+					inBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix < 0 || ix >= w {
+							dd[outBase+ox] = 0
+						} else {
+							dd[outBase+ox] = id[inBase+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a lowered-gradient matrix (C*KH*KW × OH*OW) back into an
+// image-shaped gradient (C×H×W), accumulating overlapping contributions.
+func Col2Im(cols *Tensor, c, h, w int, g ConvGeom) *Tensor {
+	img := New(c, h, w)
+	Col2ImInto(img, cols, g)
+	return img
+}
+
+// Col2ImInto accumulates cols into a zeroed img (C×H×W).
+func Col2ImInto(img, cols *Tensor, g ConvGeom) {
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	oh, ow := g.OutSize(h, w)
+	if cols.shape[0] != c*g.KH*g.KW || cols.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2ImInto cols shape %v, want [%d %d]", cols.shape, c*g.KH*g.KW, oh*ow))
+	}
+	img.Zero()
+	cd := cols.data
+	id := img.data
+	ncols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := ((ch*g.KH+kh)*g.KW + kw) * ncols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH - g.PadH + kh
+					if iy < 0 || iy >= h {
+						continue
+					}
+					inBase := chBase + iy*w
+					srcBase := row + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW - g.PadW + kw
+						if ix < 0 || ix >= w {
+							continue
+						}
+						id[inBase+ix] += cd[srcBase+ox]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvGeomOutSize(t *testing.T) {
+	g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	oh, ow := g.OutSize(100, 100)
+	if oh != 100 || ow != 100 {
+		t.Fatalf("same-padding 3x3: out %dx%d, want 100x100", oh, ow)
+	}
+	g2 := ConvGeom{KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	oh, ow = g2.OutSize(100, 100)
+	if oh != 50 || ow != 50 {
+		t.Fatalf("2x2/2 pool: out %dx%d, want 50x50", oh, ow)
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	good := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1}
+	if err := good.Validate(10, 10); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	bad := ConvGeom{KH: 0, KW: 3, StrideH: 1, StrideW: 1}
+	if err := bad.Validate(10, 10); err == nil {
+		t.Fatal("expected error for zero kernel")
+	}
+	tooBig := ConvGeom{KH: 12, KW: 12, StrideH: 1, StrideW: 1}
+	if err := tooBig.Validate(10, 10); err == nil {
+		t.Fatal("expected error for kernel larger than input")
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1: im2col is just a reshape.
+	img := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	g := ConvGeom{KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	cols := Im2Col(img, g)
+	if cols.Dim(0) != 1 || cols.Dim(1) != 4 {
+		t.Fatalf("cols shape %v", cols.Shape())
+	}
+	for i, want := range []float32{1, 2, 3, 4} {
+		if cols.Data()[i] != want {
+			t.Fatalf("cols[%d] = %v, want %v", i, cols.Data()[i], want)
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	img := FromSlice([]float32{5}, 1, 1, 1)
+	g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	cols := Im2Col(img, g)
+	// Single output pixel; only the center tap sees the value.
+	if cols.Dim(0) != 9 || cols.Dim(1) != 1 {
+		t.Fatalf("cols shape %v", cols.Shape())
+	}
+	for i := 0; i < 9; i++ {
+		want := float32(0)
+		if i == 4 {
+			want = 5
+		}
+		if cols.At(i, 0) != want {
+			t.Fatalf("tap %d = %v, want %v", i, cols.At(i, 0), want)
+		}
+	}
+}
+
+// convNaive computes a direct convolution for cross-checking the
+// im2col+matmul path: out[oc][oy][ox] = sum_{c,kh,kw} w[oc][c][kh][kw]*in[...].
+func convNaive(img, weight *Tensor, g ConvGeom) *Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	oc := weight.Dim(0)
+	oh, ow := g.OutSize(h, w)
+	out := New(oc, oh, ow)
+	for o := 0; o < oc; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float64
+				for ch := 0; ch < c; ch++ {
+					for kh := 0; kh < g.KH; kh++ {
+						for kw := 0; kw < g.KW; kw++ {
+							iy := oy*g.StrideH - g.PadH + kh
+							ix := ox*g.StrideW - g.PadW + kw
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								continue
+							}
+							s += float64(weight.At(o, ch, kh, kw)) * float64(img.At(ch, iy, ix))
+						}
+					}
+				}
+				out.Set(float32(s), o, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatMulEqualsDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct {
+		c, h, w, oc int
+		g           ConvGeom
+	}{
+		{3, 8, 8, 4, ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}},
+		{4, 10, 12, 2, ConvGeom{KH: 5, KW: 5, StrideH: 2, StrideW: 2, PadH: 2, PadW: 2}},
+		{1, 7, 7, 8, ConvGeom{KH: 1, KW: 1, StrideH: 1, StrideW: 1}},
+		{2, 9, 9, 3, ConvGeom{KH: 3, KW: 3, StrideH: 3, StrideW: 3}},
+	} {
+		img := randTensor(rng, tc.c, tc.h, tc.w)
+		weight := randTensor(rng, tc.oc, tc.c, tc.g.KH, tc.g.KW)
+		cols := Im2Col(img, tc.g)
+		wmat := weight.Reshape(tc.oc, tc.c*tc.g.KH*tc.g.KW)
+		oh, ow := tc.g.OutSize(tc.h, tc.w)
+		got := MatMul(wmat, cols).Reshape(tc.oc, oh, ow)
+		want := convNaive(img, weight, tc.g)
+		if !got.AllClose(want, 1e-4, 1e-4) {
+			t.Fatalf("im2col conv mismatch for %+v", tc)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col — <Im2Col(x), y> == <x, Col2Im(y)>
+// for random x, y. This is exactly the identity the conv backward pass needs.
+func TestPropCol2ImAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 25; trial++ {
+		c := 1 + rng.Intn(3)
+		h := 3 + rng.Intn(6)
+		w := 3 + rng.Intn(6)
+		k := 1 + rng.Intn(3)
+		g := ConvGeom{KH: k, KW: k, StrideH: 1 + rng.Intn(2), StrideW: 1 + rng.Intn(2), PadH: rng.Intn(2), PadW: rng.Intn(2)}
+		if g.Validate(h, w) != nil {
+			continue
+		}
+		x := randTensor(rng, c, h, w)
+		cx := Im2Col(x, g)
+		y := randTensor(rng, cx.Dim(0), cx.Dim(1))
+		// <Im2Col(x), y>
+		var lhs float64
+		for i, v := range cx.Data() {
+			lhs += float64(v) * float64(y.Data()[i])
+		}
+		// <x, Col2Im(y)>
+		back := Col2Im(y, c, h, w, g)
+		var rhs float64
+		for i, v := range x.Data() {
+			rhs += float64(v) * float64(back.Data()[i])
+		}
+		if diff := lhs - rhs; diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("adjoint identity violated: %v vs %v (trial %d, g=%+v)", lhs, rhs, trial, g)
+		}
+	}
+}
+
+func BenchmarkIm2Col4x100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	img := randTensor(rng, 4, 100, 100)
+	g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	dst := New(4*9, 100*100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(dst, img, g)
+	}
+}

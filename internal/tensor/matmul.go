@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockM/blockN/blockK are the register/cache blocking factors of the
+// matrix multiply. Chosen so a block of B fits comfortably in L1 on
+// commodity x86 while keeping the inner loop vectorizable by the Go
+// compiler (contiguous float32 slices, no bounds-check in the hot loop).
+const (
+	blockK      = 256
+	rowsPerTask = 32
+)
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
+// new m×n tensor. It parallelizes over row bands of A when the problem is
+// large enough to amortize goroutine dispatch.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d · %dx%d", m, k, k2, n))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A·B, overwriting dst. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto destination shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	// Small problems: avoid goroutine dispatch entirely.
+	if m*n*k < 64*64*64 {
+		matmulRange(dst.data, a.data, b.data, 0, m, k, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	tasks := (m + rowsPerTask - 1) / rowsPerTask
+	if tasks < workers {
+		workers = tasks
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				start := next
+				next += rowsPerTask
+				mu.Unlock()
+				if start >= m {
+					return
+				}
+				end := start + rowsPerTask
+				if end > m {
+					end = m
+				}
+				matmulRange(dst.data, a.data, b.data, start, end, k, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// matmulRange computes rows [rowLo, rowHi) of C += A·B with k-blocking.
+// The inner loop is an axpy over a contiguous row of B, which the compiler
+// keeps free of bounds checks.
+func matmulRange(c, a, b []float32, rowLo, rowHi, k, n int) {
+	for k0 := 0; k0 < k; k0 += blockK {
+		kMax := k0 + blockK
+		if kMax > k {
+			kMax = k
+		}
+		for i := rowLo; i < rowHi; i++ {
+			arow := a[i*k : (i+1)*k]
+			crow := c[i*n : (i+1)*n]
+			for kk := k0; kk < kMax; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b[kk*n : (kk+1)*n]
+				axpy(crow, brow, av)
+			}
+		}
+	}
+}
+
+// axpy computes dst += alpha*src over equal-length slices.
+func axpy(dst, src []float32, alpha float32) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ for A (m×k) and B (n×k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %dx%d · (%dx%d)ᵀ", m, k, n, k2))
+	}
+	c := New(m, n)
+	parallelFor(m, func(i int) {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			crow[j] = dot(arow, brow)
+		}
+	})
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch (%dx%d)ᵀ · %dx%d", k, m, k2, n))
+	}
+	c := New(m, n)
+	// Accumulate along k; parallelize over output rows to stay race-free.
+	parallelFor(m, func(i int) {
+		crow := c.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := a.data[kk*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			axpy(crow, brow, av)
+		}
+	})
+	return c
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	_ = b[len(a)-1]
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS workers when n is
+// large enough, else serially.
+func parallelFor(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < 4 || workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ParallelFor exposes the engine's worker pool for callers that want to
+// parallelize per-sample work (e.g. batched convolution backward).
+func ParallelFor(n int, f func(i int)) { parallelFor(n, f) }

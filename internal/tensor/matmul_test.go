@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMatMul is the reference implementation the fast paths are checked
+// against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += float64(a.At(i, kk)) * float64(b.At(kk, j))
+			}
+			c.Set(float32(s), i, j)
+		}
+	}
+	return c
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	t.RandNormal(rng, 0, 1)
+	return t
+}
+
+func TestMatMulSmallKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := FromSlice([]float32{58, 64, 139, 154}, 2, 2)
+	if !c.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", c.Data(), want.Data())
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 33, 9}, {64, 64, 64}, {100, 130, 70}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !got.AllClose(want, 1e-4, 1e-4) {
+			t.Fatalf("MatMul mismatch for %dx%dx%d", m, k, n)
+		}
+	}
+}
+
+func TestMatMulLargeParallelPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randTensor(rng, 150, 80)
+	b := randTensor(rng, 80, 120)
+	got := MatMul(a, b)
+	want := naiveMatMul(a, b)
+	if !got.AllClose(want, 1e-4, 1e-4) {
+		t.Fatal("parallel MatMul mismatch")
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner-dim mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randTensor(rng, 9, 14)
+	b := randTensor(rng, 6, 14) // b is n×k; result = a·bᵀ is 9×6
+	got := MatMulTransB(a, b)
+	// Reference: transpose b explicitly.
+	bt := New(14, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 14; j++ {
+			bt.Set(b.At(i, j), j, i)
+		}
+	}
+	want := naiveMatMul(a, bt)
+	if !got.AllClose(want, 1e-4, 1e-4) {
+		t.Fatal("MatMulTransB mismatch")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randTensor(rng, 12, 5) // a is k×m; result = aᵀ·b is 5×8
+	b := randTensor(rng, 12, 8)
+	got := MatMulTransA(a, b)
+	at := New(5, 12)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 5; j++ {
+			at.Set(a.At(i, j), j, i)
+		}
+	}
+	want := naiveMatMul(at, b)
+	if !got.AllClose(want, 1e-4, 1e-4) {
+		t.Fatal("MatMulTransA mismatch")
+	}
+}
+
+// Property: (A·B)·e_j equals A·(B·e_j) — associativity with a basis vector,
+// checked on random small matrices.
+func TestPropMatMulColumnConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		c := MatMul(a, b)
+		j := rng.Intn(n)
+		ej := New(n, 1)
+		ej.Set(1, j, 0)
+		lhs := MatMul(c, ej)
+		rhs := MatMul(a, MatMul(b, ej))
+		if !lhs.AllClose(rhs, 1e-4, 1e-4) {
+			t.Fatalf("column consistency failed at trial %d", trial)
+		}
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	n := 1000
+	seen := make([]int32, n)
+	ParallelFor(n, func(i int) { seen[i]++ })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 256, 256)
+	y := randTensor(rng, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}

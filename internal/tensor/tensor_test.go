@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndVolume(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tt.Len())
+	}
+	if tt.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", tt.Rank())
+	}
+	if tt.Dim(1) != 3 {
+		t.Fatalf("Dim(1) = %d, want 3", tt.Dim(1))
+	}
+	for _, v := range tt.Data() {
+		if v != 0 {
+			t.Fatalf("New tensor not zero-filled")
+		}
+	}
+}
+
+func TestNewScalar(t *testing.T) {
+	s := New()
+	if s.Len() != 1 || s.Rank() != 0 {
+		t.Fatalf("scalar tensor Len=%d Rank=%d", s.Len(), s.Rank())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(3, 4)
+	tt.Set(7.5, 2, 1)
+	if got := tt.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1) = %v, want 7.5", got)
+	}
+	// Row-major layout: element (2,1) is at flat index 2*4+1.
+	if tt.Data()[9] != 7.5 {
+		t.Fatalf("row-major layout violated")
+	}
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	tt := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds index")
+		}
+	}()
+	tt.At(2, 0)
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	tt := FromSlice(d, 2, 2)
+	d[3] = 9
+	if tt.At(1, 1) != 9 {
+		t.Fatal("FromSlice must alias, not copy")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	tt := New(2, 6)
+	r := tt.Reshape(3, 4)
+	r.Set(5, 2, 3)
+	if tt.At(1, 5) != 5 {
+		t.Fatal("Reshape must share the backing data")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	tt := New(2, 6)
+	r := tt.Reshape(4, -1)
+	if r.Dim(1) != 3 {
+		t.Fatalf("inferred dim = %d, want 3", r.Dim(1))
+	}
+}
+
+func TestReshapeBadVolumePanics(t *testing.T) {
+	tt := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for volume change")
+		}
+	}()
+	tt.Reshape(4, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tt := New(2, 2)
+	tt.Fill(1)
+	c := tt.Clone()
+	c.Set(9, 0, 0)
+	if tt.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestSumMeanMaxMin(t *testing.T) {
+	tt := FromSlice([]float32{1, -2, 3, 4}, 4)
+	if tt.Sum() != 6 {
+		t.Fatalf("Sum = %v, want 6", tt.Sum())
+	}
+	if tt.Mean() != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5", tt.Mean())
+	}
+	if v, i := tt.Max(); v != 4 || i != 3 {
+		t.Fatalf("Max = %v@%d, want 4@3", v, i)
+	}
+	if v, i := tt.Min(); v != -2 || i != 1 {
+		t.Fatalf("Min = %v@%d, want -2@1", v, i)
+	}
+}
+
+func TestAddScaledScaleApply(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	a.AddScaled(b, 0.5)
+	if a.At(0) != 6 || a.At(1) != 12 {
+		t.Fatalf("AddScaled wrong: %v", a.Data())
+	}
+	a.Scale(2)
+	if a.At(0) != 12 || a.At(1) != 24 {
+		t.Fatalf("Scale wrong: %v", a.Data())
+	}
+	a.Apply(func(x float32) float32 { return -x })
+	if a.At(0) != -12 {
+		t.Fatalf("Apply wrong: %v", a.Data())
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	tt := FromSlice([]float32{3, 4}, 2)
+	if got := tt.L2Norm(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("L2Norm = %v, want 5", got)
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1.0000001, 2.0000002}, 2)
+	if !a.AllClose(b, 1e-5, 1e-5) {
+		t.Fatal("AllClose should accept tiny differences")
+	}
+	c := FromSlice([]float32{1.1, 2}, 2)
+	if a.AllClose(c, 1e-5, 1e-5) {
+		t.Fatal("AllClose should reject large differences")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.RandNormal(rand.New(rand.NewSource(7)), 0, 1)
+	b.RandNormal(rand.New(rand.NewSource(7)), 0, 1)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give identical fills")
+	}
+}
+
+func TestKaimingInitStd(t *testing.T) {
+	tt := New(20000)
+	tt.KaimingInit(rand.New(rand.NewSource(1)), 50)
+	var s, ss float64
+	for _, v := range tt.Data() {
+		s += float64(v)
+		ss += float64(v) * float64(v)
+	}
+	n := float64(tt.Len())
+	mean := s / n
+	std := math.Sqrt(ss/n - mean*mean)
+	want := math.Sqrt(2.0 / 50.0)
+	if math.Abs(std-want) > 0.01 {
+		t.Fatalf("Kaiming std = %v, want ≈ %v", std, want)
+	}
+}
+
+// Property: Reshape never changes the element sum.
+func TestPropReshapePreservesSum(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tt := FromSlice(append([]float32(nil), vals...), len(vals))
+		sumBefore := tt.Sum()
+		r := tt.Reshape(1, -1)
+		return r.Sum() == sumBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone().Equal(orig) and mutation independence.
+func TestPropCloneEqual(t *testing.T) {
+	f := func(vals []float32) bool {
+		tt := FromSlice(append([]float32(nil), vals...), len(vals))
+		c := tt.Clone()
+		if !c.Equal(tt) {
+			return false
+		}
+		if len(vals) > 0 {
+			// Guarantee a detectable mutation regardless of magnitude.
+			if c.Data()[0] == 0 {
+				c.Data()[0] = 1
+			} else {
+				c.Data()[0] = 0
+			}
+			return !c.Equal(tt)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

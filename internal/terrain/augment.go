@@ -1,0 +1,120 @@
+package terrain
+
+import (
+	"math/rand"
+
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+// FlipH mirrors a C×H×W image horizontally (left-right).
+func FlipH(img *tensor.Tensor) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, h, w)
+	for b := 0; b < c; b++ {
+		for r := 0; r < h; r++ {
+			for x := 0; x < w; x++ {
+				out.Set(img.At(b, r, w-1-x), b, r, x)
+			}
+		}
+	}
+	return out
+}
+
+// FlipV mirrors a C×H×W image vertically (top-bottom).
+func FlipV(img *tensor.Tensor) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, h, w)
+	for b := 0; b < c; b++ {
+		for r := 0; r < h; r++ {
+			for x := 0; x < w; x++ {
+				out.Set(img.At(b, h-1-r, x), b, r, x)
+			}
+		}
+	}
+	return out
+}
+
+// Rot90 rotates a square C×S×S image 90° clockwise.
+func Rot90(img *tensor.Tensor) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	if h != w {
+		panic("terrain: Rot90 requires a square image")
+	}
+	out := tensor.New(c, h, w)
+	for b := 0; b < c; b++ {
+		for r := 0; r < h; r++ {
+			for x := 0; x < w; x++ {
+				// (r, x) comes from (h-1-x, r) in the source.
+				out.Set(img.At(b, h-1-x, r), b, r, x)
+			}
+		}
+	}
+	return out
+}
+
+// flipTargetH mirrors a detection target horizontally.
+func flipTargetH(t nn.DetectionTarget) nn.DetectionTarget {
+	if t.HasObject {
+		t.CX = 1 - t.CX
+	}
+	return t
+}
+
+// flipTargetV mirrors a detection target vertically.
+func flipTargetV(t nn.DetectionTarget) nn.DetectionTarget {
+	if t.HasObject {
+		t.CY = 1 - t.CY
+	}
+	return t
+}
+
+// rotTarget90 rotates a detection target 90° clockwise.
+func rotTarget90(t nn.DetectionTarget) nn.DetectionTarget {
+	if t.HasObject {
+		t.CX, t.CY = 1-t.CY, t.CX
+		t.W, t.H = t.H, t.W
+	}
+	return t
+}
+
+// Augment returns a new dataset with the originals plus, per sample, up
+// to extraPerSample random symmetries (from the 7 non-identity elements
+// of the square's symmetry group), with targets transformed to match.
+// Aerial imagery has no canonical orientation, so all eight orientations
+// are valid training views.
+func Augment(ds *Dataset, extraPerSample int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Dataset{ClipSize: ds.ClipSize}
+	out.Samples = append(out.Samples, ds.Samples...)
+	type xform struct {
+		img    func(*tensor.Tensor) *tensor.Tensor
+		target func(nn.DetectionTarget) nn.DetectionTarget
+	}
+	rot180 := func(img *tensor.Tensor) *tensor.Tensor { return Rot90(Rot90(img)) }
+	rot270 := func(img *tensor.Tensor) *tensor.Tensor { return Rot90(Rot90(Rot90(img))) }
+	xforms := []xform{
+		{FlipH, flipTargetH},
+		{FlipV, flipTargetV},
+		{Rot90, rotTarget90},
+		{rot180, func(t nn.DetectionTarget) nn.DetectionTarget { return rotTarget90(rotTarget90(t)) }},
+		{rot270, func(t nn.DetectionTarget) nn.DetectionTarget { return rotTarget90(rotTarget90(rotTarget90(t))) }},
+		{func(i *tensor.Tensor) *tensor.Tensor { return Rot90(FlipH(i)) },
+			func(t nn.DetectionTarget) nn.DetectionTarget { return rotTarget90(flipTargetH(t)) }},
+		{func(i *tensor.Tensor) *tensor.Tensor { return Rot90(FlipV(i)) },
+			func(t nn.DetectionTarget) nn.DetectionTarget { return rotTarget90(flipTargetV(t)) }},
+	}
+	for _, s := range ds.Samples {
+		perm := rng.Perm(len(xforms))
+		for k := 0; k < extraPerSample && k < len(xforms); k++ {
+			xf := xforms[perm[k]]
+			out.Samples = append(out.Samples, Sample{
+				Image:    xf.img(s.Image),
+				Target:   xf.target(s.Target),
+				Origin:   s.Origin,
+				Crossing: s.Crossing,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package terrain
+
+import (
+	"testing"
+
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+func rampImage() *tensor.Tensor {
+	img := tensor.New(2, 4, 4)
+	for i := range img.Data() {
+		img.Data()[i] = float32(i)
+	}
+	return img
+}
+
+func TestFlipHInvolution(t *testing.T) {
+	img := rampImage()
+	if !FlipH(FlipH(img)).Equal(img) {
+		t.Fatal("FlipH twice must be identity")
+	}
+	f := FlipH(img)
+	if f.At(0, 0, 0) != img.At(0, 0, 3) {
+		t.Fatal("FlipH did not mirror columns")
+	}
+}
+
+func TestFlipVInvolution(t *testing.T) {
+	img := rampImage()
+	if !FlipV(FlipV(img)).Equal(img) {
+		t.Fatal("FlipV twice must be identity")
+	}
+	f := FlipV(img)
+	if f.At(1, 0, 2) != img.At(1, 3, 2) {
+		t.Fatal("FlipV did not mirror rows")
+	}
+}
+
+func TestRot90FourTimesIdentity(t *testing.T) {
+	img := rampImage()
+	r := Rot90(Rot90(Rot90(Rot90(img))))
+	if !r.Equal(img) {
+		t.Fatal("four 90° rotations must be identity")
+	}
+}
+
+func TestRot90MovesCorner(t *testing.T) {
+	img := rampImage()
+	r := Rot90(img)
+	// Clockwise: bottom-left corner (3,0) moves to top-left (0,0).
+	if r.At(0, 0, 0) != img.At(0, 3, 0) {
+		t.Fatalf("rot90 corner: got %v want %v", r.At(0, 0, 0), img.At(0, 3, 0))
+	}
+}
+
+func TestRot90RequiresSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square image")
+		}
+	}()
+	Rot90(tensor.New(1, 2, 3))
+}
+
+// TestAugmentTargetsTrackPixels verifies that transformed boxes point at
+// the same culvert pixels: the bright signature must appear at the
+// transformed label center.
+func TestAugmentTargetsTrackPixels(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	aug := Augment(ds, 3, 9)
+	if len(aug.Samples) != len(ds.Samples)*4 {
+		t.Fatalf("augmented size %d, want %d", len(aug.Samples), len(ds.Samples)*4)
+	}
+	for i, s := range aug.Samples {
+		if !s.Target.HasObject {
+			continue
+		}
+		cx := int(s.Target.CX * float32(cc.Size))
+		cy := int(s.Target.CY * float32(cc.Size))
+		if cx < 0 || cx >= cc.Size || cy < 0 || cy >= cc.Size {
+			t.Fatalf("sample %d: transformed center out of bounds (%d,%d)", i, cx, cy)
+		}
+		// Look in a small neighborhood (centers are quantized to cells).
+		found := false
+		for dr := -2; dr <= 2 && !found; dr++ {
+			for dc := -2; dc <= 2 && !found; dc++ {
+				r, c := cy+dr, cx+dc
+				if r < 0 || r >= cc.Size || c < 0 || c >= cc.Size {
+					continue
+				}
+				if s.Image.At(BandR, r, c) > 0.7 {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("sample %d: no culvert signature near transformed center (%d,%d)", i, cy, cx)
+		}
+	}
+}
+
+func TestAugmentPreservesNegativeLabels(t *testing.T) {
+	ds := &Dataset{ClipSize: 4, Samples: []Sample{{
+		Image:  rampImage().Reshape(2, 4, 4),
+		Target: nn.DetectionTarget{HasObject: false},
+	}}}
+	aug := Augment(ds, 2, 1)
+	for _, s := range aug.Samples {
+		if s.Target.HasObject {
+			t.Fatal("augmentation must not invent objects")
+		}
+	}
+}
+
+func TestAugmentDeterministic(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	a := Augment(ds, 2, 7)
+	b := Augment(ds, 2, 7)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("nondeterministic augmentation size")
+	}
+	for i := range a.Samples {
+		if !a.Samples[i].Image.Equal(b.Samples[i].Image) {
+			t.Fatal("nondeterministic augmentation content")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package terrain
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 48
+	_, ds := buildTestDataset(t, cc)
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClipSize != ds.ClipSize || len(got.Samples) != len(ds.Samples) {
+		t.Fatalf("round trip changed structure: %d/%d samples", len(got.Samples), len(ds.Samples))
+	}
+	for i := range ds.Samples {
+		if !got.Samples[i].Image.Equal(ds.Samples[i].Image) {
+			t.Fatalf("sample %d pixels changed", i)
+		}
+		if got.Samples[i].Target != ds.Samples[i].Target {
+			t.Fatalf("sample %d target changed", i)
+		}
+		if got.Samples[i].Origin != ds.Samples[i].Origin {
+			t.Fatalf("sample %d origin changed", i)
+		}
+	}
+}
+
+func TestSaveDatasetEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, &Dataset{ClipSize: 40}); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestLoadDatasetGarbage(t *testing.T) {
+	if _, err := LoadDataset(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 48
+	_, ds := buildTestDataset(t, cc)
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := SaveDatasetFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(ds.Samples) {
+		t.Fatal("file round trip lost samples")
+	}
+}
+
+func TestLoadDatasetFileMissing(t *testing.T) {
+	if _, err := LoadDatasetFile(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("expected error")
+	}
+}

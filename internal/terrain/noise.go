@@ -1,0 +1,72 @@
+// Package terrain synthesizes the study area the paper's dataset comes
+// from: a gently undulating agricultural watershed (West Fork Big Blue,
+// Nebraska — loess plain descending west→east, dense road network, poorly
+// developed drainage). It generates the DEM, road embankments, culverts at
+// road-stream crossings, renders 4-band (R,G,B,NIR) orthophoto rasters,
+// and clips 100×100 labeled samples for CNN training — the synthetic
+// stand-in for the paper's hand-digitized NAIP dataset (DESIGN.md §2).
+package terrain
+
+import "math/rand"
+
+// noiseField is a seeded value-noise lattice evaluated with bilinear
+// interpolation and smoothstep easing.
+type noiseField struct {
+	lattice []float64
+	n       int
+}
+
+func newNoiseField(rng *rand.Rand, n int) *noiseField {
+	f := &noiseField{n: n, lattice: make([]float64, n*n)}
+	for i := range f.lattice {
+		f.lattice[i] = rng.Float64()
+	}
+	return f
+}
+
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// at samples the field at lattice coordinates (x, y), wrapping at edges.
+func (f *noiseField) at(x, y float64) float64 {
+	xi, yi := int(x), int(y)
+	tx, ty := smoothstep(x-float64(xi)), smoothstep(y-float64(yi))
+	get := func(i, j int) float64 {
+		return f.lattice[(j%f.n)*f.n+(i%f.n)]
+	}
+	v00 := get(xi, yi)
+	v10 := get(xi+1, yi)
+	v01 := get(xi, yi+1)
+	v11 := get(xi+1, yi+1)
+	top := v00 + (v10-v00)*tx
+	bot := v01 + (v11-v01)*tx
+	return top + (bot-top)*ty
+}
+
+// FBM is multi-octave fractal value noise in [0, 1).
+type FBM struct {
+	fields  []*noiseField
+	octaves int
+}
+
+// NewFBM creates fractal noise with the given number of octaves.
+func NewFBM(rng *rand.Rand, octaves int) *FBM {
+	f := &FBM{octaves: octaves}
+	for o := 0; o < octaves; o++ {
+		f.fields = append(f.fields, newNoiseField(rng, 16<<o))
+	}
+	return f
+}
+
+// At samples the fractal noise at unit coordinates (x, y in [0,1)).
+func (f *FBM) At(x, y float64) float64 {
+	var sum, norm float64
+	amp := 1.0
+	freq := 4.0
+	for o := 0; o < f.octaves; o++ {
+		sum += amp * f.fields[o].at(x*freq, y*freq)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}

@@ -1,0 +1,110 @@
+package terrain
+
+import (
+	"math/rand"
+
+	"drainnet/internal/tensor"
+)
+
+// Band indices of the rendered orthophoto.
+const (
+	BandR = iota
+	BandG
+	BandB
+	BandNIR
+	NumBands
+)
+
+// Render produces the 4-band (R, G, B, NIR) orthophoto of the watershed
+// as a NumBands×Rows×Cols tensor with values in [0, 1]. Land-cover
+// spectral signatures follow NAIP color-infrared conventions: cropland is
+// green/NIR-bright, open water and wet soils are NIR-dark, roads are
+// uniformly gray with low NIR, and culvert headwalls at drainage
+// crossings render as compact bright concrete signatures.
+func Render(w *Watershed) *tensor.Tensor {
+	cfg := w.Cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	img := tensor.New(NumBands, cfg.Rows, cfg.Cols)
+	tex := NewFBM(rng, 3)
+
+	set := func(b, r, c int, v float64) {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		img.Set(float32(v), b, r, c)
+	}
+
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			i := r*cfg.Cols + c
+			x := float64(c) / float64(cfg.Cols)
+			y := float64(r) / float64(cfg.Rows)
+			t := tex.At(x*3, y*3) // field texture
+			n := rng.Float64() * 0.04
+
+			// Cropland base.
+			red, green, blue, nir := 0.28+0.1*t, 0.38+0.12*t, 0.22+0.06*t, 0.62+0.2*t
+
+			if w.WetMask[i] {
+				// Depressional wetland: darker, wetter, NIR-suppressed.
+				red, green, blue, nir = 0.18, 0.24, 0.2, 0.3
+			}
+			if nearStream(w, r, c, 3) {
+				// Riparian vegetation: greenest, highest NIR.
+				red, green, blue, nir = 0.16, 0.34, 0.14, 0.85
+			}
+			if w.StreamMask[i] {
+				// Open water / wet channel: dark, blue-leaning, NIR-black.
+				red, green, blue, nir = 0.1, 0.14, 0.22, 0.06
+			}
+			if w.RoadMask[i] {
+				// Gravel/asphalt road: flat gray, low NIR.
+				g := 0.5 + 0.08*t
+				red, green, blue, nir = g, g, g, 0.18
+			}
+			set(BandR, r, c, red+n)
+			set(BandG, r, c, green+n)
+			set(BandB, r, c, blue+n)
+			set(BandNIR, r, c, nir+n)
+		}
+	}
+
+	// Culvert structures: bright concrete headwalls flanking the channel
+	// where it passes under the road.
+	for _, p := range w.Crossings {
+		for dr := -2; dr <= 2; dr++ {
+			for dc := -2; dc <= 2; dc++ {
+				r, c := p.R+dr, p.C+dc
+				if r < 0 || r >= cfg.Rows || c < 0 || c >= cfg.Cols {
+					continue
+				}
+				if dr*dr+dc*dc > 6 {
+					continue
+				}
+				set(BandR, r, c, 0.88)
+				set(BandG, r, c, 0.86)
+				set(BandB, r, c, 0.82)
+				set(BandNIR, r, c, 0.35)
+			}
+		}
+	}
+	return img
+}
+
+func nearStream(w *Watershed, r, c, radius int) bool {
+	for dr := -radius; dr <= radius; dr++ {
+		for dc := -radius; dc <= radius; dc++ {
+			rr, cc := r+dr, c+dc
+			if rr < 0 || rr >= w.Cfg.Rows || cc < 0 || cc >= w.Cfg.Cols {
+				continue
+			}
+			if w.StreamMask[rr*w.Cfg.Cols+cc] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,324 @@
+package terrain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/hydro"
+)
+
+// testConfig is a small, fast watershed for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 256, 256
+	cfg.RoadSpacing = 96
+	cfg.StreamThreshold = 150
+	return cfg
+}
+
+func genTest(t *testing.T) *Watershed {
+	t.Helper()
+	w, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Crossings) != len(b.Crossings) {
+		t.Fatalf("crossings differ across runs: %d vs %d", len(a.Crossings), len(b.Crossings))
+	}
+	for i := range a.DEM.Data {
+		if a.DEM.Data[i] != b.DEM.Data[i] {
+			t.Fatal("DEM not deterministic")
+		}
+	}
+}
+
+func TestGenerateTooSmallFails(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rows = 10
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("expected error for tiny raster")
+	}
+}
+
+func TestRegionalSlopeWestToEast(t *testing.T) {
+	w := genTest(t)
+	// Average elevation of the west quarter must exceed the east quarter.
+	var west, east float64
+	n := 0
+	for r := 0; r < w.Cfg.Rows; r++ {
+		for c := 0; c < w.Cfg.Cols/4; c++ {
+			west += w.BaseDEM.At(r, c)
+			east += w.BaseDEM.At(r, w.Cfg.Cols-1-c)
+			n++
+		}
+	}
+	if west/float64(n) <= east/float64(n) {
+		t.Fatal("terrain must descend west→east")
+	}
+}
+
+func TestCrossingsLieOnRoadsAndNearStreams(t *testing.T) {
+	w := genTest(t)
+	for _, p := range w.Crossings {
+		i := p.R*w.Cfg.Cols + p.C
+		if !w.RoadMask[i] {
+			t.Fatalf("crossing %v not on a road", p)
+		}
+		if !nearStream(w, p.R, p.C, 4) {
+			t.Fatalf("crossing %v not near a stream", p)
+		}
+	}
+}
+
+func TestEmbankmentsRaiseDEM(t *testing.T) {
+	w := genTest(t)
+	for i, road := range w.RoadMask {
+		diff := w.DEM.Data[i] - w.BaseDEM.Data[i]
+		if road && math.Abs(diff-w.Cfg.EmbankmentM) > 1e-9 {
+			t.Fatalf("road cell %d raised by %v, want %v", i, diff, w.Cfg.EmbankmentM)
+		}
+		if !road && diff != 0 {
+			t.Fatalf("non-road cell %d modified", i)
+		}
+	}
+}
+
+func TestDigitalDamsInWatershed(t *testing.T) {
+	// The road embankments must measurably damage hydrologic connectivity,
+	// and breaching at the true crossings must restore (most of) it.
+	w := genTest(t)
+	base := hydro.ConnectivityScore(w.BaseDEM, w.Cfg.StreamThreshold)
+	dammed := hydro.ConnectivityScore(w.DEM, w.Cfg.StreamThreshold)
+	if dammed >= base {
+		t.Fatalf("embankments must reduce connectivity: base %v, dammed %v", base, dammed)
+	}
+	breached := w.DEM.Clone()
+	hydro.BreachAll(breached, w.Crossings, 4)
+	restored := hydro.ConnectivityScore(breached, w.Cfg.StreamThreshold)
+	if restored <= dammed {
+		t.Fatalf("breaching must improve connectivity: dammed %v, restored %v", dammed, restored)
+	}
+}
+
+func TestRenderShapeAndRange(t *testing.T) {
+	w := genTest(t)
+	img := Render(w)
+	if img.Dim(0) != NumBands || img.Dim(1) != w.Cfg.Rows || img.Dim(2) != w.Cfg.Cols {
+		t.Fatalf("image shape %v", img.Shape())
+	}
+	for _, v := range img.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestRenderSignatures(t *testing.T) {
+	w := genTest(t)
+	img := Render(w)
+	// Streams must be NIR-dark; crossings must be bright in red.
+	var s hydro.Point
+	found := false
+	for i, isStream := range w.StreamMask {
+		if isStream && !w.RoadMask[i] {
+			s = hydro.Point{R: i / w.Cfg.Cols, C: i % w.Cfg.Cols}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no stream cell")
+	}
+	if img.At(BandNIR, s.R, s.C) > 0.2 {
+		t.Fatalf("stream NIR = %v, want dark", img.At(BandNIR, s.R, s.C))
+	}
+	p := w.Crossings[0]
+	if img.At(BandR, p.R, p.C) < 0.7 {
+		t.Fatalf("crossing red = %v, want bright concrete", img.At(BandR, p.R, p.C))
+	}
+}
+
+func buildTestDataset(t *testing.T, clip ClipConfig) (*Watershed, *Dataset) {
+	t.Helper()
+	w := genTest(t)
+	img := Render(w)
+	ds, err := BuildDataset(w, img, clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ds
+}
+
+func TestBuildDatasetBalance(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	pos := ds.Positives()
+	neg := len(ds.Samples) - pos
+	if pos == 0 || neg == 0 {
+		t.Fatalf("dataset must contain both classes: %d pos, %d neg", pos, neg)
+	}
+	if neg > pos*cc.NegativesPerPositive {
+		t.Fatalf("negatives %d exceed requested ratio (pos %d)", neg, pos)
+	}
+}
+
+func TestPositiveTargetsInUnitRange(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	for _, s := range ds.Samples {
+		if !s.Target.HasObject {
+			continue
+		}
+		if s.Target.CX < 0 || s.Target.CX > 1 || s.Target.CY < 0 || s.Target.CY > 1 {
+			t.Fatalf("box center out of range: %+v", s.Target)
+		}
+		if s.Target.W <= 0 || s.Target.H <= 0 {
+			t.Fatalf("degenerate box: %+v", s.Target)
+		}
+	}
+}
+
+func TestPositiveClipContainsCulvertPixels(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	for _, s := range ds.Samples {
+		if !s.Target.HasObject {
+			continue
+		}
+		// The bright culvert signature must appear at the labeled center.
+		cx := int(s.Target.CX * float32(cc.Size))
+		cy := int(s.Target.CY * float32(cc.Size))
+		if v := s.Image.At(BandR, cy, cx); v < 0.7 {
+			t.Fatalf("no culvert signature at labeled center: red=%v", v)
+		}
+	}
+}
+
+func TestNegativeClipsHaveNoCrossing(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	w, ds := buildTestDataset(t, cc)
+	for _, s := range ds.Samples {
+		if s.Target.HasObject {
+			continue
+		}
+		for _, p := range w.Crossings {
+			if p.R >= s.Origin.R && p.R < s.Origin.R+cc.Size &&
+				p.C >= s.Origin.C && p.C < s.Origin.C+cc.Size {
+				t.Fatalf("negative clip at %v contains crossing %v", s.Origin, p)
+			}
+		}
+	}
+}
+
+func TestSplitRatioAndDisjoint(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	train, test := ds.Split(0.8, 42)
+	if len(train.Samples)+len(test.Samples) != len(ds.Samples) {
+		t.Fatal("split lost samples")
+	}
+	wantTrain := int(0.8 * float64(len(ds.Samples)))
+	if len(train.Samples) != wantTrain {
+		t.Fatalf("train size %d, want %d", len(train.Samples), wantTrain)
+	}
+}
+
+func TestBatchAssembly(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	if len(ds.Samples) < 3 {
+		t.Skip("dataset too small")
+	}
+	x, targets := ds.Batch(0, 3)
+	if x.Dim(0) != 3 || x.Dim(1) != NumBands || x.Dim(2) != 64 || x.Dim(3) != 64 {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if len(targets) != 3 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	// First sample's first pixel must match.
+	if x.At(0, 0, 0, 0) != ds.Samples[0].Image.At(0, 0, 0) {
+		t.Fatal("batch content mismatch")
+	}
+}
+
+func TestBatchInvalidRangePanics(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, ds := buildTestDataset(t, cc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds.Batch(5, 2)
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	cc := DefaultClipConfig()
+	cc.Size = 64
+	_, a := buildTestDataset(t, cc)
+	_, b := buildTestDataset(t, cc)
+	a.Shuffle(9)
+	b.Shuffle(9)
+	for i := range a.Samples {
+		if a.Samples[i].Origin != b.Samples[i].Origin {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}
+
+func TestFBMRangeAndDeterminism(t *testing.T) {
+	f := NewFBM(rand.New(rand.NewSource(5)), 4)
+	g := NewFBM(rand.New(rand.NewSource(5)), 4)
+	for i := 0; i < 500; i++ {
+		x, y := float64(i%25)/25, float64(i/25)/20
+		v := f.At(x, y)
+		if v < 0 || v > 1 {
+			t.Fatalf("FBM out of range: %v", v)
+		}
+		if v != g.At(x, y) {
+			t.Fatal("FBM not deterministic")
+		}
+	}
+}
+
+func BenchmarkGenerateWatershed256(b *testing.B) {
+	cfg := testConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRender256(b *testing.B) {
+	w, err := Generate(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(w)
+	}
+}

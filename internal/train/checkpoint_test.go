@@ -1,0 +1,88 @@
+package train
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+func buildTestNet(t *testing.T, seed int64) *nn.Sequential {
+	t.Helper()
+	net, err := model.OriginalSPPNet().Scaled(16).WithInput(4, 32).Build(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := buildTestNet(t, 1)
+	dst := buildTestNet(t, 2) // different init
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Identical parameters → identical outputs.
+	x := tensor.New(1, 4, 32, 32)
+	x.RandNormal(rand.New(rand.NewSource(3)), 0, 1)
+	ya := src.Forward(x)
+	yb := dst.Forward(x)
+	if !ya.AllClose(yb, 1e-6, 1e-6) {
+		t.Fatal("loaded network differs from saved network")
+	}
+}
+
+func TestCheckpointArchitectureMismatch(t *testing.T) {
+	src := buildTestNet(t, 1)
+	other, err := model.SPPNet2().Scaled(16).WithInput(4, 48).Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(&buf, other); err == nil {
+		t.Fatal("expected error for architecture mismatch")
+	}
+}
+
+func TestCheckpointGarbageInput(t *testing.T) {
+	dst := buildTestNet(t, 1)
+	if err := Load(bytes.NewReader([]byte("not a checkpoint")), dst); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	src := buildTestNet(t, 4)
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildTestNet(t, 5)
+	if err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 4, 32, 32)
+	x.RandNormal(rand.New(rand.NewSource(6)), 0, 1)
+	if !src.Forward(x).AllClose(dst.Forward(x), 1e-6, 1e-6) {
+		t.Fatal("file round trip changed parameters")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	dst := buildTestNet(t, 1)
+	if err := LoadFile(filepath.Join(t.TempDir(), "nope.ckpt"), dst); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

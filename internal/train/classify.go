@@ -1,0 +1,87 @@
+package train
+
+import (
+	"fmt"
+
+	"drainnet/internal/nn"
+	"drainnet/internal/terrain"
+)
+
+// Classification labels for the Wu-et-al.-style formulation.
+const (
+	ClassBackground = 0
+	ClassCrossing   = 1
+)
+
+// labelsOf converts detection targets to class labels.
+func labelsOf(targets []nn.DetectionTarget) []int {
+	labels := make([]int, len(targets))
+	for i, t := range targets {
+		if t.HasObject {
+			labels[i] = ClassCrossing
+		}
+	}
+	return labels
+}
+
+// FitClassifier trains a K-way classifier (built with
+// model.Config.BuildClassifier) on the dataset's has-crossing labels.
+func FitClassifier(net *nn.Sequential, ds *terrain.Dataset, opt Options) ([]EpochStats, error) {
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	if opt.BatchSize < 1 || opt.Epochs < 1 {
+		return nil, fmt.Errorf("train: invalid options %+v", opt)
+	}
+	sgd := &SGD{LR: opt.LR, Momentum: opt.Momentum, WeightDecay: opt.WeightDecay}
+	var history []EpochStats
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		if opt.LRStepEpoch > 0 && epoch == opt.LRStepEpoch && opt.LRStepGamma > 0 {
+			sgd.LR *= opt.LRStepGamma
+		}
+		ds.Shuffle(opt.Seed + int64(epoch))
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < len(ds.Samples); lo += opt.BatchSize {
+			hi := lo + opt.BatchSize
+			if hi > len(ds.Samples) {
+				hi = len(ds.Samples)
+			}
+			x, targets := ds.Batch(lo, hi)
+			out := net.Forward(x)
+			l, grad := nn.CrossEntropyLoss(out, labelsOf(targets))
+			net.ZeroGrad()
+			net.Backward(grad)
+			sgd.Step(net.Params())
+			epochLoss += l
+			batches++
+		}
+		history = append(history, EpochStats{Epoch: epoch, Loss: epochLoss / float64(batches)})
+	}
+	return history, nil
+}
+
+// ClassifierAccuracy evaluates argmax accuracy over the dataset.
+func ClassifierAccuracy(net *nn.Sequential, ds *terrain.Dataset) float64 {
+	const evalBatch = 16
+	correct, total := 0, 0
+	for lo := 0; lo < len(ds.Samples); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > len(ds.Samples) {
+			hi = len(ds.Samples)
+		}
+		x, targets := ds.Batch(lo, hi)
+		pred := nn.Argmax(net.Forward(x))
+		labels := labelsOf(targets)
+		for i := range pred {
+			if pred[i] == labels[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

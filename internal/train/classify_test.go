@@ -1,0 +1,74 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/model"
+)
+
+func TestClassifierLearnsCrossings(t *testing.T) {
+	// The Wu-et-al.-style formulation: classify whether a clip contains a
+	// drainage crossing. The backbone is the same SPP-Net.
+	trainDS, testDS := smallDataset(t)
+	rng := rand.New(rand.NewSource(21))
+	cfg := model.OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := cfg.BuildClassifier(rng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ClassifierAccuracy(net, testDS)
+	opt := PaperOptions()
+	opt.Epochs = 8
+	opt.BatchSize = 10
+	if _, err := FitClassifier(net, trainDS, opt); err != nil {
+		t.Fatal(err)
+	}
+	after := ClassifierAccuracy(net, testDS)
+	if after < 0.85 {
+		t.Fatalf("classifier accuracy = %v (was %v), want ≥ 0.85", after, before)
+	}
+}
+
+func TestFitClassifierLossFalls(t *testing.T) {
+	trainDS, _ := smallDataset(t)
+	rng := rand.New(rand.NewSource(22))
+	net, err := model.OriginalSPPNet().Scaled(16).WithInput(4, 40).BuildClassifier(rng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PaperOptions()
+	opt.Epochs = 5
+	opt.BatchSize = 10
+	hist, err := FitClassifier(net, trainDS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[len(hist)-1].Loss >= hist[0].Loss {
+		t.Fatalf("loss did not fall: %v → %v", hist[0].Loss, hist[len(hist)-1].Loss)
+	}
+}
+
+func TestFitClassifierRejectsBadOptions(t *testing.T) {
+	trainDS, _ := smallDataset(t)
+	rng := rand.New(rand.NewSource(23))
+	net, err := model.OriginalSPPNet().Scaled(16).WithInput(4, 40).BuildClassifier(rng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitClassifier(net, trainDS, Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildClassifierHeadWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	net, err := model.SPPNet2().Scaled(16).WithInput(4, 48).BuildClassifier(rng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := net.OutShape([]int{2, 4, 48, 48})
+	if shape[1] != 3 {
+		t.Fatalf("classifier head width %d, want 3", shape[1])
+	}
+}

@@ -1,0 +1,162 @@
+// Package train implements the paper's training protocol (§6.1): SGD with
+// learning rate 0.005, weight decay 0.0005, momentum 0.9, batch size 20,
+// on an 80/20 train/test split, plus detector evaluation with the AP
+// metric of Equation 1.
+package train
+
+import (
+	"fmt"
+
+	"drainnet/internal/metrics"
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+	"drainnet/internal/terrain"
+)
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay:
+//
+//	v ← momentum·v + grad + wd·w
+//	w ← w − lr·v
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD creates an optimizer with the paper's hyperparameters by default.
+func NewSGD() *SGD {
+	return &SGD{LR: 0.005, Momentum: 0.9, WeightDecay: 0.0005}
+}
+
+// Step applies one update to every parameter from its accumulated
+// gradient, then leaves the gradients untouched (call ZeroGrad next).
+func (o *SGD) Step(params []*nn.Param) {
+	if o.velocity == nil {
+		o.velocity = make(map[*nn.Param]*tensor.Tensor)
+	}
+	for _, p := range params {
+		v := o.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			o.velocity[p] = v
+		}
+		lr := float32(o.LR)
+		mom := float32(o.Momentum)
+		wd := float32(o.WeightDecay)
+		vd, gd, wv := v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range vd {
+			vd[i] = mom*vd[i] + gd[i] + wd*wv[i]
+			wv[i] -= lr * vd[i]
+		}
+	}
+}
+
+// Options configures a training run.
+type Options struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// WeightDecay is the L2 coefficient.
+	WeightDecay float64
+	// BoxWeight balances box regression against objectness.
+	BoxWeight float64
+	// LRStepEpoch, if positive, multiplies the learning rate by
+	// LRStepGamma once that epoch is reached (a single-step decay
+	// schedule).
+	LRStepEpoch int
+	LRStepGamma float64
+	// Seed drives epoch shuffling.
+	Seed int64
+	// Verbose prints per-epoch progress.
+	Verbose bool
+}
+
+// PaperOptions returns the paper's §6.1 protocol.
+func PaperOptions() Options {
+	return Options{
+		Epochs:      20,
+		BatchSize:   20,
+		LR:          0.005,
+		Momentum:    0.9,
+		WeightDecay: 0.0005,
+		BoxWeight:   2,
+		Seed:        1,
+	}
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch int
+	Loss  float64
+}
+
+// Fit trains net on ds and returns per-epoch statistics.
+func Fit(net *nn.Sequential, ds *terrain.Dataset, opt Options) ([]EpochStats, error) {
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	if opt.BatchSize < 1 || opt.Epochs < 1 {
+		return nil, fmt.Errorf("train: invalid options %+v", opt)
+	}
+	loss := &nn.DetectionLoss{BoxWeight: opt.BoxWeight}
+	sgd := &SGD{LR: opt.LR, Momentum: opt.Momentum, WeightDecay: opt.WeightDecay}
+	var history []EpochStats
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		if opt.LRStepEpoch > 0 && epoch == opt.LRStepEpoch && opt.LRStepGamma > 0 {
+			sgd.LR *= opt.LRStepGamma
+		}
+		ds.Shuffle(opt.Seed + int64(epoch))
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < len(ds.Samples); lo += opt.BatchSize {
+			hi := lo + opt.BatchSize
+			if hi > len(ds.Samples) {
+				hi = len(ds.Samples)
+			}
+			x, targets := ds.Batch(lo, hi)
+			out := net.Forward(x)
+			l, grad := loss.Compute(out, targets)
+			net.ZeroGrad()
+			net.Backward(grad)
+			sgd.Step(net.Params())
+			epochLoss += l
+			batches++
+		}
+		st := EpochStats{Epoch: epoch, Loss: epochLoss / float64(batches)}
+		history = append(history, st)
+		if opt.Verbose {
+			fmt.Printf("epoch %2d: loss %.4f\n", st.Epoch, st.Loss)
+		}
+	}
+	return history, nil
+}
+
+// Evaluate runs the detector over ds and scores it with AP at the given
+// IoU threshold.
+func Evaluate(net *nn.Sequential, ds *terrain.Dataset, iouThresh float64) metrics.Evaluation {
+	dets, gts := Predictions(net, ds)
+	return metrics.Evaluate(dets, gts, iouThresh)
+}
+
+// Predictions runs the detector over ds in evaluation batches, returning
+// parallel detection and ground-truth slices.
+func Predictions(net *nn.Sequential, ds *terrain.Dataset) ([]metrics.Detection, []metrics.GroundTruth) {
+	const evalBatch = 16
+	var dets []metrics.Detection
+	var gts []metrics.GroundTruth
+	for lo := 0; lo < len(ds.Samples); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > len(ds.Samples) {
+			hi = len(ds.Samples)
+		}
+		x, targets := ds.Batch(lo, hi)
+		dets = append(dets, model.Detect(net, x)...)
+		gts = append(gts, model.TargetsToGroundTruth(targets)...)
+	}
+	return dets, gts
+}

@@ -1,0 +1,177 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+	"drainnet/internal/terrain"
+)
+
+func TestSGDSimpleQuadratic(t *testing.T) {
+	// Minimize f(w) = w² by feeding grad = 2w: w must approach 0.
+	p := nn.NewParam("w", 1)
+	p.Value.Data()[0] = 4
+	sgd := &SGD{LR: 0.1, Momentum: 0, WeightDecay: 0}
+	for i := 0; i < 100; i++ {
+		p.Grad.Data()[0] = 2 * p.Value.Data()[0]
+		sgd.Step([]*nn.Param{p})
+	}
+	if w := p.Value.Data()[0]; w > 1e-3 || w < -1e-3 {
+		t.Fatalf("w = %v, want ≈0", w)
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	run := func(mom float64) float32 {
+		p := nn.NewParam("w", 1)
+		p.Value.Data()[0] = 4
+		sgd := &SGD{LR: 0.01, Momentum: mom}
+		for i := 0; i < 40; i++ {
+			p.Grad.Data()[0] = 2 * p.Value.Data()[0]
+			sgd.Step([]*nn.Param{p})
+		}
+		return p.Value.Data()[0]
+	}
+	plain, withMom := run(0), run(0.9)
+	if withMom >= plain {
+		t.Fatalf("momentum should converge faster: plain %v, momentum %v", plain, withMom)
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := nn.NewParam("w", 1)
+	p.Value.Data()[0] = 1
+	sgd := &SGD{LR: 0.1, WeightDecay: 0.5}
+	for i := 0; i < 50; i++ {
+		p.Grad.Data()[0] = 0 // pure decay
+		sgd.Step([]*nn.Param{p})
+	}
+	if w := p.Value.Data()[0]; w > 0.1 {
+		t.Fatalf("weight decay should shrink w toward 0, got %v", w)
+	}
+}
+
+// smallDataset builds a fast synthetic dataset for learning tests.
+func smallDataset(t *testing.T) (*terrain.Dataset, *terrain.Dataset) {
+	t.Helper()
+	cfg := terrain.DefaultConfig()
+	cfg.Rows, cfg.Cols = 256, 256
+	cfg.RoadSpacing = 72
+	cfg.StreamThreshold = 120
+	w, err := terrain.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := terrain.Render(w)
+	cc := terrain.DefaultClipConfig()
+	cc.Size = 40
+	cc.JitterFrac = 0.08
+	cc.ClipsPerCrossing = 3
+	ds, err := terrain.BuildDataset(w, img, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.SplitByCrossing(0.8, 5)
+}
+
+func TestFitReducesLoss(t *testing.T) {
+	trainDS, _ := smallDataset(t)
+	rng := rand.New(rand.NewSource(10))
+	cfg := model.OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := cfg.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PaperOptions()
+	opt.Epochs = 6
+	opt.BatchSize = 8
+	hist, err := Fit(net, trainDS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := hist[0].Loss, hist[len(hist)-1].Loss
+	if last >= first {
+		t.Fatalf("loss did not fall: %v → %v", first, last)
+	}
+}
+
+func TestTrainedDetectorBeatsUntrained(t *testing.T) {
+	trainDS, testDS := smallDataset(t)
+	rng := rand.New(rand.NewSource(11))
+	cfg := model.OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := cfg.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Evaluate(net, testDS, 0.3).AP
+	opt := PaperOptions()
+	opt.Epochs = 12
+	opt.BatchSize = 10
+	opt.BoxWeight = 5
+	opt.LRStepEpoch = 8
+	opt.LRStepGamma = 0.1
+	if _, err := Fit(net, trainDS, opt); err != nil {
+		t.Fatal(err)
+	}
+	after := Evaluate(net, testDS, 0.3).AP
+	if after <= before {
+		t.Fatalf("training did not improve AP: %v → %v", before, after)
+	}
+	if after < 0.5 {
+		t.Fatalf("trained AP = %v, want ≥ 0.5 on the easy synthetic task", after)
+	}
+}
+
+func TestFitRejectsBadOptions(t *testing.T) {
+	trainDS, _ := smallDataset(t)
+	rng := rand.New(rand.NewSource(12))
+	net, err := model.OriginalSPPNet().Scaled(16).WithInput(4, 40).Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(net, trainDS, Options{Epochs: 0, BatchSize: 8}); err == nil {
+		t.Fatal("expected error for zero epochs")
+	}
+	if _, err := Fit(net, &terrain.Dataset{ClipSize: 40}, PaperOptions()); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestPredictionsParallelSlices(t *testing.T) {
+	trainDS, _ := smallDataset(t)
+	rng := rand.New(rand.NewSource(13))
+	net, err := model.OriginalSPPNet().Scaled(16).WithInput(4, 40).Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, gts := Predictions(net, trainDS)
+	if len(dets) != len(trainDS.Samples) || len(gts) != len(dets) {
+		t.Fatalf("prediction slices: %d dets, %d gts, %d samples", len(dets), len(gts), len(trainDS.Samples))
+	}
+}
+
+func TestPaperOptionsMatchSection61(t *testing.T) {
+	opt := PaperOptions()
+	if opt.LR != 0.005 || opt.Momentum != 0.9 || opt.WeightDecay != 0.0005 || opt.BatchSize != 20 {
+		t.Fatalf("paper options drifted: %+v", opt)
+	}
+}
+
+func TestSGDStateIsPerParam(t *testing.T) {
+	a := nn.NewParam("a", 2)
+	b := nn.NewParam("b", 3)
+	sgd := NewSGD()
+	a.Grad.Fill(1)
+	b.Grad.Fill(1)
+	sgd.Step([]*nn.Param{a, b})
+	if len(sgd.velocity) != 2 {
+		t.Fatalf("velocity entries = %d, want 2", len(sgd.velocity))
+	}
+	if sgd.velocity[a].Len() != 2 || sgd.velocity[b].Len() != 3 {
+		t.Fatal("velocity shapes must match params")
+	}
+	_ = tensor.New // keep import if unused paths change
+}
