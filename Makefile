@@ -2,10 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench bench-fast experiments \
-        experiments-train examples renders clean
+.PHONY: all check build vet test test-race test-race-serve bench bench-serve \
+        test-short bench-fast experiments experiments-train examples renders clean
 
 all: build vet test
+
+# The gate for every change: build, vet, full tests, and a race-checked
+# pass over the concurrent serving path (batcher + HTTP layer).
+check: build vet test test-race-serve
+
+test-race-serve:
+	$(GO) test -race ./internal/serve/...
 
 build:
 	$(GO) build ./...
@@ -29,6 +36,10 @@ bench:
 # Simulator-only benchmarks (seconds).
 bench-fast:
 	$(GO) test -short -bench=. -benchmem -benchtime=1x .
+
+# Serving throughput: single-mutex path vs batched multi-replica pool.
+bench-serve:
+	$(GO) test -bench BenchmarkServeThroughput -benchtime 2s ./internal/serve/
 
 # Regenerate the paper's evaluation without training experiments.
 experiments:

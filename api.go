@@ -13,6 +13,8 @@ import (
 	"drainnet/internal/nas"
 	"drainnet/internal/nn"
 	"drainnet/internal/profiler"
+	"drainnet/internal/serve"
+	"drainnet/internal/serve/batcher"
 	"drainnet/internal/tensor"
 	"drainnet/internal/terrain"
 	"drainnet/internal/train"
@@ -313,6 +315,40 @@ func DefaultMultiGPU(n int) MultiGPUConfig { return ios.DefaultMultiGPU(n) }
 // with earliest-finish-time list scheduling (HIOS-style inter-GPU level).
 func OptimizeMultiGPU(g *Graph, cfg MultiGPUConfig, batch int) (*MultiSchedule, error) {
 	return ios.OptimizeMultiGPU(g, cfg, batch)
+}
+
+// ---- Serving (versioned /v1 HTTP API, batched multi-replica pool) ----
+
+// ReplicaPool coalesces single-clip requests into batches and runs them
+// across independent network replicas (each owning its layer caches).
+type ReplicaPool = batcher.Pool
+
+// PoolOptions tunes the pool: replica count, max batch, max wait (the
+// §6.4 batching knobs), and the bounded-queue backpressure limit.
+type PoolOptions = batcher.Options
+
+// PoolStats is a snapshot of serving statistics: queue depth, batch-size
+// histogram, latency quantiles, per-replica load.
+type PoolStats = batcher.Stats
+
+// NewReplicaPool builds a pool of opts.Replicas copies of net, which must
+// have been built from cfg. Submit clips with ReplicaPool.Submit; drain
+// with Close.
+func NewReplicaPool(cfg ModelConfig, net *Network, opts PoolOptions) (*ReplicaPool, error) {
+	return batcher.New(cfg, net, opts)
+}
+
+// DetectorServer serves a trained detector over the /v1 HTTP API, backed
+// by a ReplicaPool.
+type DetectorServer = serve.Server
+
+// ServeOptions configures the server's pool and per-request timeout.
+type ServeOptions = serve.Options
+
+// NewDetectorServer creates an HTTP detection server; threshold is the
+// objectness confidence cut for HasObject.
+func NewDetectorServer(cfg ModelConfig, net *Network, threshold float64, opts ServeOptions) (*DetectorServer, error) {
+	return serve.NewWithOptions(cfg, net, threshold, opts)
 }
 
 // ---- Model persistence ----

@@ -1,6 +1,7 @@
 package drainnet
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -188,5 +189,45 @@ func TestPublicAPIExtensions(t *testing.T) {
 	}
 	if err := LoadModel(mp, net); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicServingAPI drives the exported serving surface: a replica
+// pool submitted to directly, and the /v1 HTTP server around it.
+func TestPublicServingAPI(t *testing.T) {
+	cfg := OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := BuildModel(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewReplicaPool(cfg, net, PoolOptions{Replicas: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	x := NewTensor(1, 4, 40, 40)
+	det, err := pool.Submit(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Score < 0 || det.Score > 1 {
+		t.Fatalf("score %v", det.Score)
+	}
+	var st PoolStats = pool.Stats()
+	if st.Served != 1 || st.Replicas != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	net2, err := BuildModel(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewDetectorServer(cfg, net2, 0.5, ServeOptions{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Handler() == nil {
+		t.Fatal("nil handler")
 	}
 }

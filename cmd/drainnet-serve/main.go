@@ -1,22 +1,35 @@
 // drainnet-serve trains (or loads) a drainage-crossing detector and
-// serves it over HTTP:
+// serves it over the versioned /v1 HTTP API:
 //
-//	POST /detect  {"bands":4,"size":100,"pixels":[...]} → detection JSON
-//	GET  /model   served architecture and parameter count
-//	GET  /healthz liveness
+//	POST /v1/detect        {"bands":4,"size":100,"pixels":[...]} → detection JSON
+//	POST /v1/detect/batch  [{...},{...}] → positional results/errors
+//	GET  /v1/model         served architecture and parameter count
+//	GET  /v1/stats         queue depth, batch histogram, latency quantiles
+//	GET  /healthz          liveness
+//
+// (Legacy unversioned /detect and /model remain as deprecated aliases.)
+//
+// Inference is batched across a pool of independent model replicas;
+// -max-batch and -max-wait tune the §6.4 latency/throughput trade-off.
 //
 // Usage:
 //
 //	drainnet-serve -addr :8080                 # train quickly, then serve
 //	drainnet-serve -ckpt model.ckpt            # load a saved checkpoint
+//	drainnet-serve -replicas 4 -max-batch 32 -max-wait 2ms -queue 256
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"drainnet/internal/experiments"
 	"drainnet/internal/model"
@@ -28,6 +41,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	ckpt := flag.String("ckpt", "", "checkpoint to load (skips training)")
 	threshold := flag.Float64("threshold", 0.7, "objectness confidence threshold")
+	replicas := flag.Int("replicas", 0, "model replicas serving concurrently (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 8, "max clips coalesced into one forward pass")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits for its batch to fill")
+	queue := flag.Int("queue", 64, "bounded request queue size (full queue → 429)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (queue + inference)")
 	flag.Parse()
 
 	dc := experiments.TinyData()
@@ -60,7 +78,42 @@ func main() {
 		fmt.Printf("trained: AP@%.1f = %.1f%%\n", dc.IoUThreshold, ev.AP*100)
 	}
 
-	srv := serve.New(cfg, net, *threshold)
-	fmt.Printf("serving %s on %s\n", cfg.Name, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	srv, err := serve.NewWithOptions(cfg, net, *threshold, serve.Options{
+		Replicas:       *replicas,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		QueueSize:      *queue,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	popts := srv.Pool().Options()
+	fmt.Printf("serving %s on %s (%d replicas, batch ≤ %d, wait ≤ %v, queue %d)\n",
+		cfg.Name, *addr, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		fmt.Printf("\n%v: draining...\n", s)
+	}
+
+	// Stop accepting connections, finish in-flight HTTP exchanges, then
+	// drain the inference pool (queued requests are still served).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+	st := srv.Pool().Stats()
+	fmt.Printf("served %d clips in %d batches (mean batch %.2f), rejected %d\n",
+		st.Served, st.Batches, st.MeanBatch, st.Rejected)
 }

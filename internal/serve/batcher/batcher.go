@@ -1,0 +1,383 @@
+// Package batcher implements batched, multi-replica inference serving.
+//
+// The paper's efficiency metric is latency per image *at a batch size*
+// (§6.4): a served model only realizes the batched efficiency the paper
+// optimizes for if the serving path actually forms batches. This package
+// accepts single-clip requests, coalesces them into batches (bounded by a
+// maximum batch size and a maximum wait, mirroring §6.4 batch tuning),
+// and dispatches the batches across a pool of N independent network
+// replicas. Each replica owns its layer caches (internal/nn layers cache
+// forward activations and are not safe for concurrent use), so replicas
+// run truly concurrently.
+//
+// Backpressure is a bounded queue: when it is full, Submit fails fast
+// with ErrQueueFull so the HTTP layer can answer 429 with Retry-After
+// instead of letting latency grow without bound. Close drains the queue
+// gracefully: everything already accepted is served, new submissions are
+// refused with ErrClosed.
+package batcher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"drainnet/internal/metrics"
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull means the bounded request queue is at capacity; the
+	// caller should shed load (HTTP 429).
+	ErrQueueFull = errors.New("batcher: request queue full")
+	// ErrClosed means the pool is draining or closed.
+	ErrClosed = errors.New("batcher: pool closed")
+)
+
+// Options configures a Pool. The zero value selects sensible defaults.
+type Options struct {
+	// Replicas is the number of independent network replicas (default
+	// GOMAXPROCS). Each replica is a deep copy of the source network, so
+	// replicas serve batches concurrently without sharing layer caches.
+	Replicas int
+	// MaxBatch is the largest batch a single forward pass may carry
+	// (default 8). A group of same-shape requests is flushed as soon as it
+	// reaches MaxBatch.
+	MaxBatch int
+	// MaxWait bounds how long the oldest queued request waits for its
+	// batch to fill before the partial batch is flushed (default 2ms).
+	// Larger values trade latency for bigger batches — the §6.4 knob.
+	MaxWait time.Duration
+	// QueueSize is the bounded queue capacity (default 64). When the
+	// queue is full Submit returns ErrQueueFull.
+	QueueSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 64
+	}
+	return o
+}
+
+// request is one queued clip awaiting inference.
+type request struct {
+	ctx  context.Context
+	x    *tensor.Tensor // 1×C×H×W
+	enq  time.Time
+	done chan result // buffered(1); worker always delivers
+}
+
+type result struct {
+	det metrics.Detection
+	err error
+}
+
+// job is a flushed batch bound for a replica.
+type job struct {
+	reqs []*request
+}
+
+// Pool coalesces single-clip requests into batches and runs them across
+// independent model replicas. Create one with New; it is safe for
+// concurrent use by any number of goroutines.
+type Pool struct {
+	opts  Options
+	queue chan *request
+	work  chan *job
+
+	// closing is closed-state coordination: Submit holds a read lock
+	// across its queue send so Close can safely close(queue) once no
+	// sender is in flight.
+	closing closeGate
+
+	dispatcherDone chan struct{}
+	workersDone    chan struct{}
+
+	stats *statsAccum
+
+	// detect runs one forward pass; tests may substitute a stub to make
+	// timing-sensitive behavior deterministic.
+	detect func(net *nn.Sequential, x *tensor.Tensor) []metrics.Detection
+}
+
+// New builds a pool of opts.Replicas copies of net (which must have been
+// built from cfg — parameter names and shapes are checked while cloning).
+// The provided net becomes replica 0; the pool owns all replicas and the
+// caller must not run inference on net concurrently with pool use.
+func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
+	opts = opts.withDefaults()
+	replicas := make([]*nn.Sequential, opts.Replicas)
+	replicas[0] = net
+	for i := 1; i < opts.Replicas; i++ {
+		clone, err := cloneNetwork(cfg, net)
+		if err != nil {
+			return nil, fmt.Errorf("batcher: replica %d: %w", i, err)
+		}
+		replicas[i] = clone
+	}
+	p := &Pool{
+		opts:           opts,
+		queue:          make(chan *request, opts.QueueSize),
+		work:           make(chan *job, opts.Replicas),
+		dispatcherDone: make(chan struct{}),
+		workersDone:    make(chan struct{}),
+		stats:          newStatsAccum(opts),
+		detect:         model.Detect,
+	}
+	go p.dispatch()
+	go p.runWorkers(replicas)
+	return p, nil
+}
+
+// cloneNetwork builds a fresh network from cfg and copies net's parameter
+// values into it, so the clone computes the identical function but owns
+// its layer caches.
+func cloneNetwork(cfg model.Config, net *nn.Sequential) (*nn.Sequential, error) {
+	clone, err := cfg.Build(rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, err
+	}
+	src, dst := net.Params(), clone.Params()
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("network has %d parameters, config builds %d (config/network mismatch)", len(src), len(dst))
+	}
+	for i, sp := range src {
+		dp := dst[i]
+		if sp.Name != dp.Name || sp.Value.Len() != dp.Value.Len() {
+			return nil, fmt.Errorf("parameter %d mismatch: %s/%d vs %s/%d", i, sp.Name, sp.Value.Len(), dp.Name, dp.Value.Len())
+		}
+		copy(dp.Value.Data(), sp.Value.Data())
+	}
+	return clone, nil
+}
+
+// Options returns the pool's resolved configuration.
+func (p *Pool) Options() Options { return p.opts }
+
+// Submit enqueues one 1×C×H×W clip and blocks until its detection is
+// ready, the context is done, or the pool rejects it. It is safe to call
+// from many goroutines; same-shape submissions that overlap in time are
+// coalesced into shared batches.
+func (p *Pool) Submit(ctx context.Context, x *tensor.Tensor) (metrics.Detection, error) {
+	if x == nil || x.Rank() != 4 || x.Dim(0) != 1 {
+		return metrics.Detection{}, errors.New("batcher: Submit wants a 1×C×H×W tensor")
+	}
+	req := &request{ctx: ctx, x: x, enq: time.Now(), done: make(chan result, 1)}
+
+	if !p.closing.enter() {
+		p.stats.reject()
+		return metrics.Detection{}, ErrClosed
+	}
+	select {
+	case p.queue <- req:
+		p.closing.leave()
+	default:
+		p.closing.leave()
+		p.stats.reject()
+		return metrics.Detection{}, ErrQueueFull
+	}
+
+	select {
+	case res := <-req.done:
+		return res.det, res.err
+	case <-ctx.Done():
+		// Prefer a result that raced the cancellation.
+		select {
+		case res := <-req.done:
+			return res.det, res.err
+		default:
+		}
+		// The request stays queued; the flusher drops it when it notices
+		// the dead context. The buffered done channel lets the worker
+		// deliver without blocking even though nobody reads it.
+		p.stats.cancel()
+		return metrics.Detection{}, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of serving statistics.
+func (p *Pool) Stats() Stats { return p.stats.snapshot(len(p.queue)) }
+
+// Close drains the pool: new Submits fail with ErrClosed, every request
+// already accepted is served, and Close returns once all replicas are
+// idle. Close is idempotent.
+func (p *Pool) Close() {
+	if p.closing.close() {
+		close(p.queue)
+	}
+	<-p.dispatcherDone
+	<-p.workersDone
+}
+
+// dispatch coalesces queued requests into per-shape groups and flushes a
+// group when it reaches MaxBatch (full-batch flush) or when its oldest
+// member has waited MaxWait (timeout flush).
+func (p *Pool) dispatch() {
+	defer close(p.dispatcherDone)
+	defer close(p.work)
+
+	pending := make(map[string][]*request)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	for {
+		var timerC <-chan time.Time
+		if dl, ok := p.earliestDeadline(pending); ok {
+			d := time.Until(dl)
+			if d <= 0 {
+				p.flushDue(pending, time.Now())
+				continue
+			}
+			timer.Reset(d)
+			timerC = timer.C
+		}
+
+		select {
+		case req, ok := <-p.queue:
+			if timerC != nil && !timer.Stop() {
+				<-timer.C
+			}
+			if !ok {
+				for key := range pending {
+					p.flushGroup(pending, key)
+				}
+				return
+			}
+			key := shapeKey(req.x)
+			pending[key] = append(pending[key], req)
+			if len(pending[key]) >= p.opts.MaxBatch {
+				p.flushGroup(pending, key)
+			}
+		case <-timerC:
+			p.flushDue(pending, time.Now())
+		}
+	}
+}
+
+// earliestDeadline returns the soonest flush deadline across groups.
+func (p *Pool) earliestDeadline(pending map[string][]*request) (time.Time, bool) {
+	var dl time.Time
+	found := false
+	for _, reqs := range pending {
+		if len(reqs) == 0 {
+			continue
+		}
+		d := reqs[0].enq.Add(p.opts.MaxWait)
+		if !found || d.Before(dl) {
+			dl, found = d, true
+		}
+	}
+	return dl, found
+}
+
+func (p *Pool) flushDue(pending map[string][]*request, now time.Time) {
+	for key, reqs := range pending {
+		if len(reqs) > 0 && !now.Before(reqs[0].enq.Add(p.opts.MaxWait)) {
+			p.flushGroup(pending, key)
+		}
+	}
+}
+
+// flushGroup hands a pending group to a replica, dropping requests whose
+// context has already expired. The send blocks when all replicas are
+// busy — that stall is the backpressure that fills the bounded queue.
+func (p *Pool) flushGroup(pending map[string][]*request, key string) {
+	reqs := pending[key]
+	delete(pending, key)
+	live := reqs[:0]
+	for _, r := range reqs {
+		if r.ctx.Err() != nil {
+			r.done <- result{err: r.ctx.Err()}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	p.work <- &job{reqs: live}
+}
+
+// runWorkers starts one goroutine per replica and closes workersDone when
+// the last one drains.
+func (p *Pool) runWorkers(replicas []*nn.Sequential) {
+	done := make(chan struct{}, len(replicas))
+	for id, net := range replicas {
+		go func(id int, net *nn.Sequential) {
+			defer func() { done <- struct{}{} }()
+			for j := range p.work {
+				p.runBatch(id, net, j)
+			}
+		}(id, net)
+	}
+	for range replicas {
+		<-done
+	}
+	close(p.workersDone)
+}
+
+// runBatch stacks a job's clips into one N×C×H×W tensor, runs a single
+// forward pass on this worker's replica, and delivers per-request results.
+func (p *Pool) runBatch(id int, net *nn.Sequential, j *job) {
+	n := len(j.reqs)
+	first := j.reqs[0].x
+	c, h, w := first.Dim(1), first.Dim(2), first.Dim(3)
+	batch := tensor.New(n, c, h, w)
+	stride := c * h * w
+	for i, r := range j.reqs {
+		copy(batch.Data()[i*stride:(i+1)*stride], r.x.Data())
+	}
+
+	dets, err := p.safeDetect(net, batch)
+	if err != nil {
+		for _, r := range j.reqs {
+			r.done <- result{err: err}
+		}
+		return
+	}
+	now := time.Now()
+	lats := make([]time.Duration, n)
+	for i, r := range j.reqs {
+		r.done <- result{det: dets[i]}
+		lats[i] = now.Sub(r.enq)
+	}
+	p.stats.record(id, n, lats)
+}
+
+// safeDetect converts a panicking forward pass (bad shapes reaching a
+// layer, etc.) into an error for this batch instead of killing the worker.
+func (p *Pool) safeDetect(net *nn.Sequential, x *tensor.Tensor) (dets []metrics.Detection, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("batcher: inference failed: %v", r)
+		}
+	}()
+	dets = p.detect(net, x)
+	if len(dets) != x.Dim(0) {
+		return nil, fmt.Errorf("batcher: detector returned %d results for batch of %d", len(dets), x.Dim(0))
+	}
+	return dets, nil
+}
+
+func shapeKey(x *tensor.Tensor) string {
+	return fmt.Sprintf("%dx%dx%d", x.Dim(1), x.Dim(2), x.Dim(3))
+}

@@ -1,0 +1,174 @@
+package batcher
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the quantile
+// estimator keeps (a ring buffer; old samples age out under load).
+const latencyWindow = 2048
+
+// Stats is a point-in-time snapshot of pool serving statistics, shaped
+// for the /v1/stats endpoint.
+type Stats struct {
+	Replicas      int `json:"replicas"`
+	MaxBatch      int `json:"max_batch"`
+	QueueCapacity int `json:"queue_capacity"`
+	QueueDepth    int `json:"queue_depth"`
+
+	// Served counts requests answered with a detection; Rejected counts
+	// queue-full and pool-closed refusals; Canceled counts requests whose
+	// context ended before a result was delivered.
+	Served   uint64 `json:"served"`
+	Rejected uint64 `json:"rejected"`
+	Canceled uint64 `json:"canceled"`
+
+	// Batches is the number of forward passes; BatchSizes[i] counts
+	// batches that carried i+1 clips, so the histogram spans 1..MaxBatch.
+	Batches    uint64   `json:"batches"`
+	BatchSizes []uint64 `json:"batch_size_histogram"`
+	// MeanBatch is Served/Batches — the realized §6.4 batch size.
+	MeanBatch float64 `json:"mean_batch"`
+
+	// PerReplica counts clips served by each replica.
+	PerReplica []uint64 `json:"per_replica_served"`
+
+	// Latency quantiles (milliseconds) over a sliding window of recent
+	// requests, measured enqueue → result delivery.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+// statsAccum accumulates counters under one mutex; the hot path locks
+// once per batch, not per request.
+type statsAccum struct {
+	mu         sync.Mutex
+	served     uint64
+	rejected   uint64
+	canceled   uint64
+	batches    uint64
+	batchSizes []uint64
+	perReplica []uint64
+
+	lat  []float64 // ring of latencies in ms
+	next int
+	n    int
+
+	replicas, maxBatch, queueCap int
+}
+
+func newStatsAccum(opts Options) *statsAccum {
+	return &statsAccum{
+		batchSizes: make([]uint64, opts.MaxBatch),
+		perReplica: make([]uint64, opts.Replicas),
+		lat:        make([]float64, latencyWindow),
+		replicas:   opts.Replicas,
+		maxBatch:   opts.MaxBatch,
+		queueCap:   opts.QueueSize,
+	}
+}
+
+func (s *statsAccum) reject() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+func (s *statsAccum) cancel() {
+	s.mu.Lock()
+	s.canceled++
+	s.mu.Unlock()
+}
+
+// record logs one completed batch of n clips on the given replica.
+func (s *statsAccum) record(replica, n int, lats []time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.served += uint64(n)
+	s.batches++
+	if n >= 1 && n <= len(s.batchSizes) {
+		s.batchSizes[n-1]++
+	}
+	if replica >= 0 && replica < len(s.perReplica) {
+		s.perReplica[replica] += uint64(n)
+	}
+	for _, d := range lats {
+		s.lat[s.next] = float64(d) / float64(time.Millisecond)
+		s.next = (s.next + 1) % len(s.lat)
+		if s.n < len(s.lat) {
+			s.n++
+		}
+	}
+}
+
+func (s *statsAccum) snapshot(queueDepth int) Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Replicas:      s.replicas,
+		MaxBatch:      s.maxBatch,
+		QueueCapacity: s.queueCap,
+		QueueDepth:    queueDepth,
+		Served:        s.served,
+		Rejected:      s.rejected,
+		Canceled:      s.canceled,
+		Batches:       s.batches,
+		BatchSizes:    append([]uint64(nil), s.batchSizes...),
+		PerReplica:    append([]uint64(nil), s.perReplica...),
+	}
+	if s.batches > 0 {
+		st.MeanBatch = float64(s.served) / float64(s.batches)
+	}
+	if s.n > 0 {
+		sorted := append([]float64(nil), s.lat[:s.n]...)
+		sort.Float64s(sorted)
+		st.LatencyP50Ms = quantile(sorted, 0.50)
+		st.LatencyP95Ms = quantile(sorted, 0.95)
+		st.LatencyP99Ms = quantile(sorted, 0.99)
+	}
+	return st
+}
+
+// quantile reads the q-th quantile from an ascending slice (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// closeGate lets many submitters enter concurrently while letting Close
+// atomically flip to closed once no submitter is mid-send, so closing the
+// queue channel cannot race a send.
+type closeGate struct {
+	mu     sync.RWMutex
+	closed bool
+}
+
+// enter returns false if the gate is closed; on true the caller must call
+// leave after its queue send.
+func (g *closeGate) enter() bool {
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return false
+	}
+	return true
+}
+
+func (g *closeGate) leave() { g.mu.RUnlock() }
+
+// close flips the gate; it returns true on the first call.
+func (g *closeGate) close() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.closed = true
+	return true
+}

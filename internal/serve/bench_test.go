@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+	"drainnet/internal/serve/batcher"
+	"drainnet/internal/tensor"
+)
+
+// benchConcurrency matches the acceptance setup: 16 concurrent clients.
+const benchConcurrency = 16
+
+func benchNet(b *testing.B) (model.Config, *nn.Sequential) {
+	b.Helper()
+	cfg := model.SPPNet2().Scaled(16).WithInput(4, 40)
+	net, err := cfg.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg, net
+}
+
+func benchClip() *tensor.Tensor {
+	x := tensor.New(1, 4, 40, 40)
+	rng := rand.New(rand.NewSource(7))
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float32()
+	}
+	return x
+}
+
+// BenchmarkServeThroughput compares the seed's single-mutex serving path
+// against the batched multi-replica pool at concurrency 16 on the same
+// model. Requests/sec is the inverse of ns/op; the pool additionally
+// reports its realized mean batch size. Replica parallelism needs
+// GOMAXPROCS > 1 to pay off; batching pays off on any core count.
+func BenchmarkServeThroughput(b *testing.B) {
+	b.Run("single-mutex", func(b *testing.B) {
+		_, net := benchNet(b)
+		var mu sync.Mutex
+		x := benchClip()
+		b.SetParallelism(benchConcurrency)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.Lock()
+				_ = model.Detect(net, x)[0]
+				mu.Unlock()
+			}
+		})
+	})
+
+	b.Run("batched-pool", func(b *testing.B) {
+		cfg, net := benchNet(b)
+		pool, err := batcher.New(cfg, net, batcher.Options{
+			Replicas:  runtime.GOMAXPROCS(0),
+			MaxBatch:  benchConcurrency,
+			MaxWait:   500 * time.Microsecond,
+			QueueSize: 4 * benchConcurrency,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		x := benchClip()
+		b.SetParallelism(benchConcurrency)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				// Retry on backpressure: a benchmark client just spins.
+				for {
+					_, err := pool.Submit(context.Background(), x)
+					if err == nil {
+						break
+					}
+					if err != batcher.ErrQueueFull {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(pool.Stats().MeanBatch, "clips/batch")
+	})
+}

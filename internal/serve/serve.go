@@ -1,24 +1,48 @@
-// Package serve exposes a trained drainage-crossing detector over HTTP:
-// POST a 4-band clip, get a detection back. The layer caches inside a
-// network are not safe for concurrent use, so the server serializes
-// inference with a mutex — throughput scaling belongs to batching (§6.4),
-// not handler parallelism.
+// Package serve exposes a trained drainage-crossing detector over a
+// versioned HTTP API:
+//
+//	POST /v1/detect        one clip in, one detection out
+//	POST /v1/detect/batch  a slice of clips, per-item results or errors
+//	GET  /v1/model         served architecture and parameter count
+//	GET  /v1/stats         batching/latency statistics (JSON)
+//	GET  /healthz          liveness (unversioned)
+//
+// The legacy unversioned /detect and /model routes remain as deprecated
+// aliases for one release; they answer with Deprecation/Link headers.
+//
+// Inference runs on a batched multi-replica pool (internal/serve/batcher):
+// concurrent requests are coalesced into batches sized by the §6.4
+// efficiency curve and dispatched across independent network replicas.
+// Errors use a uniform envelope: {"error":{"code":"...","message":"..."}}.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"drainnet/internal/metrics"
 	"drainnet/internal/model"
 	"drainnet/internal/nn"
+	"drainnet/internal/serve/batcher"
 	"drainnet/internal/tensor"
 )
 
-// DetectRequest is the POST /detect payload: a flattened bands×size×size
-// image in row-major order, values in [0,1].
+// minClipSize is the smallest clip edge the service accepts; smaller
+// inputs vanish inside the conv/pool stack.
+const minClipSize = 8
+
+// maxBatchItems bounds how many clips one /v1/detect/batch call may carry.
+const maxBatchItems = 256
+
+// DetectRequest is the POST /v1/detect payload: a flattened
+// bands×size×size image in row-major order, values in [0,1].
 type DetectRequest struct {
 	Bands  int       `json:"bands"`
 	Size   int       `json:"size"`
@@ -33,7 +57,14 @@ type DetectResponse struct {
 	HasObject bool `json:"has_object"`
 }
 
-// ModelInfo describes the served model (GET /model).
+// BatchItem is one positional result of POST /v1/detect/batch: exactly
+// one of Result or Error is set.
+type BatchItem struct {
+	Result *DetectResponse `json:"result,omitempty"`
+	Error  *ErrorBody      `json:"error,omitempty"`
+}
+
+// ModelInfo describes the served model (GET /v1/model).
 type ModelInfo struct {
 	Name      string  `json:"name"`
 	Notation  string  `json:"notation"`
@@ -41,29 +72,91 @@ type ModelInfo struct {
 	ClipSize  int     `json:"clip_size"`
 	Params    int     `json:"parameters"`
 	Threshold float64 `json:"threshold"`
+	Replicas  int     `json:"replicas"`
+	MaxBatch  int     `json:"max_batch"`
 }
 
-// Server serves one trained detector.
+// Options configures the serving pool behind the HTTP API. The zero
+// value selects the batcher defaults and a 30 s request timeout.
+type Options struct {
+	// Replicas, MaxBatch, MaxWait, QueueSize configure the inference pool
+	// (see batcher.Options).
+	Replicas  int
+	MaxBatch  int
+	MaxWait   time.Duration
+	QueueSize int
+	// RequestTimeout bounds one request's time in queue + inference
+	// (default 30s; ≤0 keeps the default).
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server serves one trained detector over the /v1 API.
 type Server struct {
 	cfg       model.Config
-	net       *nn.Sequential
 	threshold float64
-
-	mu sync.Mutex
+	opts      Options
+	pool      *batcher.Pool
+	params    int
 }
 
-// New creates a server for a trained network built from cfg. threshold is
-// the objectness confidence cut for HasObject.
+// New creates a server with default pool options. cfg must be the
+// configuration net was built from; New panics otherwise (programmer
+// error — use NewWithOptions to handle it).
 func New(cfg model.Config, net *nn.Sequential, threshold float64) *Server {
-	return &Server{cfg: cfg, net: net, threshold: threshold}
+	s, err := NewWithOptions(cfg, net, threshold, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
+
+// NewWithOptions creates a server whose inference pool is configured by
+// opts. The pool takes ownership of net (replica 0).
+func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	params := nn.ParamCount(net)
+	pool, err := batcher.New(cfg, net, batcher.Options{
+		Replicas:  opts.Replicas,
+		MaxBatch:  opts.MaxBatch,
+		MaxWait:   opts.MaxWait,
+		QueueSize: opts.QueueSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return &Server{cfg: cfg, threshold: threshold, opts: opts, pool: pool, params: params}, nil
+}
+
+// Pool exposes the underlying replica pool (stats, direct submission).
+func (s *Server) Pool() *batcher.Pool { return s.pool }
+
+// Close drains the inference pool: queued requests finish, new ones are
+// refused. Call after the HTTP listener stops accepting connections.
+func (s *Server) Close() { s.pool.Close() }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/model", s.handleModel)
-	mux.HandleFunc("/detect", s.handleDetect)
+	mux.HandleFunc("/v1/model", method(http.MethodGet, s.handleModel))
+	mux.HandleFunc("/v1/stats", method(http.MethodGet, s.handleStats))
+	mux.HandleFunc("/v1/detect", method(http.MethodPost, s.handleDetect))
+	mux.HandleFunc("/v1/detect/batch", method(http.MethodPost, s.handleDetectBatch))
+	// Deprecated unversioned aliases, kept for one release.
+	mux.HandleFunc("/model", deprecated("/v1/model", method(http.MethodGet, s.handleModel)))
+	mux.HandleFunc("/detect", deprecated("/v1/detect", method(http.MethodPost, s.handleDetect)))
+	// Everything else gets the JSON envelope, not the mux's text 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &apiError{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: "no such route: " + r.URL.Path})
+	})
 	return mux
 }
 
@@ -73,61 +166,150 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	info := ModelInfo{
+	popts := s.pool.Options()
+	writeJSON(w, http.StatusOK, ModelInfo{
 		Name:      s.cfg.Name,
 		Notation:  s.cfg.Notation(),
 		InBands:   s.cfg.InBands,
 		ClipSize:  s.cfg.InSize,
-		Params:    nn.ParamCount(s.net),
+		Params:    s.params,
 		Threshold: s.threshold,
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req DetectRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	if req.Bands != s.cfg.InBands {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("model expects %d bands, got %d", s.cfg.InBands, req.Bands))
-		return
-	}
-	if req.Size < 8 {
-		httpError(w, http.StatusBadRequest, "clip too small")
-		return
-	}
-	if len(req.Pixels) != req.Bands*req.Size*req.Size {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("expected %d pixels, got %d", req.Bands*req.Size*req.Size, len(req.Pixels)))
-		return
-	}
-	// SPP-Net accepts any clip size, so req.Size need not equal the
-	// training size.
-	x := tensor.FromSlice(req.Pixels, 1, req.Bands, req.Size, req.Size)
-	s.mu.Lock()
-	det := model.Detect(s.net, x)[0]
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, DetectResponse{
-		Score:     det.Score,
-		Box:       det.Box,
-		HasObject: det.Score >= s.threshold,
+		Replicas:  popts.Replicas,
+		MaxBatch:  popts.MaxBatch,
 	})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers already sent; nothing useful to do.
-		_ = err
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req DetectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest(CodeBadJSON, "bad JSON: "+err.Error()))
+		return
+	}
+	if e := s.validate(&req); e != nil {
+		writeError(w, e)
+		return
+	}
+	resp, e := s.infer(r.Context(), &req)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []DetectRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeError(w, badRequest(CodeBadJSON, "bad JSON: "+err.Error()))
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, badRequest(CodeInvalidRequest, "empty batch"))
+		return
+	}
+	if len(reqs) > maxBatchItems {
+		writeError(w, badRequest(CodeInvalidRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), maxBatchItems)))
+		return
+	}
+	// Validate positionally, then submit the valid items concurrently so
+	// the pool can coalesce them into shared batches.
+	items := make([]BatchItem, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		if e := s.validate(&reqs[i]); e != nil {
+			items[i].Error = &ErrorBody{Code: e.Code, Message: fmt.Sprintf("item %d: %s", i, e.Message)}
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, e := s.infer(r.Context(), &reqs[i])
+			if e != nil {
+				items[i].Error = &ErrorBody{Code: e.Code, Message: fmt.Sprintf("item %d: %s", i, e.Message)}
+				return
+			}
+			items[i].Result = resp
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, items)
+}
+
+// validate applies the request schema: band count, positive and
+// sufficient dims, pixel count = bands·size², finite pixels.
+func (s *Server) validate(req *DetectRequest) *apiError {
+	if req.Bands != s.cfg.InBands {
+		return badRequest(CodeInvalidRequest,
+			fmt.Sprintf("model expects %d bands, got %d", s.cfg.InBands, req.Bands))
+	}
+	if req.Size <= 0 {
+		return badRequest(CodeInvalidRequest, fmt.Sprintf("non-positive size %d", req.Size))
+	}
+	if req.Size < minClipSize {
+		return badRequest(CodeInvalidRequest,
+			fmt.Sprintf("clip size %d below minimum %d", req.Size, minClipSize))
+	}
+	if want := req.Bands * req.Size * req.Size; len(req.Pixels) != want {
+		return badRequest(CodeInvalidRequest,
+			fmt.Sprintf("expected %d pixels (bands·size²), got %d", want, len(req.Pixels)))
+	}
+	for i, v := range req.Pixels {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return badRequest(CodeInvalidRequest, fmt.Sprintf("pixel %d is not finite", i))
+		}
+	}
+	return nil
+}
+
+// infer runs one validated request through the pool, translating pool
+// errors into API errors. SPP-Net accepts any clip size ≥ minClipSize,
+// so req.Size need not equal the training size.
+func (s *Server) infer(ctx context.Context, req *DetectRequest) (*DetectResponse, *apiError) {
+	ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
+	defer cancel()
+	x := tensor.FromSlice(req.Pixels, 1, req.Bands, req.Size, req.Size)
+	det, err := s.pool.Submit(ctx, x)
+	if err != nil {
+		return nil, poolError(err, s.pool.Options().MaxWait)
+	}
+	return &DetectResponse{
+		Score:     det.Score,
+		Box:       det.Box,
+		HasObject: det.Score >= s.threshold,
+	}, nil
+}
+
+// poolError maps a batcher error to an HTTP status + envelope, attaching
+// Retry-After guidance for load shedding.
+func poolError(err error, maxWait time.Duration) *apiError {
+	switch {
+	case errors.Is(err, batcher.ErrQueueFull):
+		return &apiError{Status: http.StatusTooManyRequests, Code: CodeQueueFull,
+			Message:    "request queue full; retry after backoff",
+			RetryAfter: retryAfterSeconds(maxWait)}
+	case errors.Is(err, batcher.ErrClosed):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: CodeUnavailable,
+			Message: "server is draining"}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: CodeTimeout,
+			Message: "request timed out"}
+	case errors.Is(err, context.Canceled):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: CodeCanceled,
+			Message: "request canceled"}
+	default:
+		return &apiError{Status: http.StatusInternalServerError, Code: CodeInternal,
+			Message: err.Error()}
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// retryAfterSeconds suggests a Retry-After for 429s: at least one
+// max-wait window, rounded up to a whole second.
+func retryAfterSeconds(maxWait time.Duration) string {
+	secs := int(maxWait/time.Second) + 1
+	return strconv.Itoa(secs)
 }

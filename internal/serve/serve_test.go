@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"drainnet/internal/model"
 )
@@ -20,20 +22,41 @@ func testServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(cfg, net, 0.5)
-}
-
-func postDetect(t *testing.T, ts *httptest.Server, req DetectRequest) *http.Response {
-	t.Helper()
-	body, err := json.Marshal(req)
+	s, err := NewWithOptions(cfg, net, 0.5, Options{Replicas: 2, MaxBatch: 4, MaxWait: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/detect", "application/json", bytes.NewReader(body))
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postJSON(t *testing.T, url string, v interface{}) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return resp
+}
+
+func decodeError(t *testing.T, resp *http.Response) ErrorEnvelope {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error envelope did not decode: %v", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code/message: %+v", env)
+	}
+	return env
+}
+
+func validDetectRequest() DetectRequest {
+	return DetectRequest{Bands: 4, Size: 40, Pixels: make([]float32, 4*40*40)}
 }
 
 func TestHealthz(t *testing.T) {
@@ -49,10 +72,10 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-func TestModelInfo(t *testing.T) {
+func TestModelInfoV1(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/model")
+	resp, err := http.Get(ts.URL + "/v1/model")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +87,15 @@ func TestModelInfo(t *testing.T) {
 	if info.InBands != 4 || info.Params <= 0 || info.Notation == "" {
 		t.Fatalf("info %+v", info)
 	}
+	if info.Replicas != 2 || info.MaxBatch != 4 {
+		t.Fatalf("pool config not reported: %+v", info)
+	}
 }
 
-func TestDetectValidRequest(t *testing.T) {
+func TestDetectValidRequestV1(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	req := DetectRequest{Bands: 4, Size: 40, Pixels: make([]float32, 4*40*40)}
-	resp := postDetect(t, ts, req)
+	resp := postJSON(t, ts.URL+"/v1/detect", validDetectRequest())
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -89,7 +114,7 @@ func TestDetectVariableClipSize(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
 	req := DetectRequest{Bands: 4, Size: 64, Pixels: make([]float32, 4*64*64)}
-	resp := postDetect(t, ts, req)
+	resp := postJSON(t, ts.URL+"/v1/detect", req)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d for 64×64 clip", resp.StatusCode)
@@ -103,45 +128,203 @@ func TestDetectRejectsBadInputs(t *testing.T) {
 		{Bands: 3, Size: 40, Pixels: make([]float32, 3*40*40)}, // wrong bands
 		{Bands: 4, Size: 40, Pixels: make([]float32, 7)},       // wrong length
 		{Bands: 4, Size: 2, Pixels: make([]float32, 16)},       // too small
+		{Bands: 4, Size: 0, Pixels: nil},                       // non-positive
+		{Bands: 4, Size: -40, Pixels: make([]float32, 6400)},   // negative
 	}
 	for i, req := range cases {
-		resp := postDetect(t, ts, req)
-		resp.Body.Close()
+		resp := postJSON(t, ts.URL+"/v1/detect", req)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+		env := decodeError(t, resp)
+		resp.Body.Close()
+		if env.Error.Code != CodeInvalidRequest {
+			t.Fatalf("case %d: code %q, want %q", i, env.Error.Code, CodeInvalidRequest)
 		}
 	}
 }
 
-func TestDetectRejectsGet(t *testing.T) {
+func TestValidateRejectsNonFinitePixels(t *testing.T) {
+	// NaN/Inf cannot ride standard JSON, so exercise the validator
+	// directly: these reach it from programmatic API use.
+	s := testServer(t)
+	for _, bad := range []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))} {
+		req := validDetectRequest()
+		req.Pixels[17] = bad
+		e := s.validate(&req)
+		if e == nil || e.Code != CodeInvalidRequest {
+			t.Fatalf("pixel %v accepted; want %s error", bad, CodeInvalidRequest)
+		}
+	}
+}
+
+func TestMethodEnforcement(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/detect")
+	// GET on a POST route.
+	resp, err := http.Get(ts.URL + "/v1/detect")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+	env := decodeError(t, resp)
+	resp.Body.Close()
+	if env.Error.Code != CodeMethodNotAllowed {
+		t.Fatalf("code %q", env.Error.Code)
+	}
+	// POST on a GET route.
+	resp = postJSON(t, ts.URL+"/v1/model", struct{}{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/model: status %d, want 405", resp.StatusCode)
 	}
 }
 
 func TestDetectRejectsGarbageJSON(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	resp, err := http.Post(ts.URL+"/detect", "application/json", bytes.NewReader([]byte("{")))
+	resp, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader([]byte("{")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	env := decodeError(t, resp)
+	resp.Body.Close()
+	if env.Error.Code != CodeBadJSON {
+		t.Fatalf("code %q, want %q", env.Error.Code, CodeBadJSON)
+	}
+}
+
+func TestLegacyDetectAliasDeprecated(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/detect", validDetectRequest())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /detect status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy route missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); link != `</v1/detect>; rel="successor-version"` {
+		t.Fatalf("legacy route Link header %q", link)
+	}
+}
+
+func TestDetectBatchPositionalResults(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	batch := []DetectRequest{
+		validDetectRequest(),
+		{Bands: 3, Size: 40, Pixels: make([]float32, 3*40*40)}, // invalid item
+		validDetectRequest(),
+	}
+	resp := postJSON(t, ts.URL+"/v1/detect/batch", batch)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var items []BatchItem
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d items, want 3", len(items))
+	}
+	if items[0].Result == nil || items[0].Error != nil {
+		t.Fatalf("item 0 should succeed: %+v", items[0])
+	}
+	if items[1].Error == nil || items[1].Error.Code != CodeInvalidRequest {
+		t.Fatalf("item 1 should fail validation: %+v", items[1])
+	}
+	if items[2].Result == nil {
+		t.Fatalf("item 2 should succeed: %+v", items[2])
+	}
+}
+
+func TestDetectBatchRejectsEmpty(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/detect/batch", []DetectRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	env := decodeError(t, resp)
+	resp.Body.Close()
+	if env.Error.Code != CodeInvalidRequest {
+		t.Fatalf("code %q", env.Error.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/detect", validDetectRequest())
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Served     uint64   `json:"served"`
+		Batches    uint64   `json:"batches"`
+		BatchSizes []uint64 `json:"batch_size_histogram"`
+		PerReplica []uint64 `json:"per_replica_served"`
+		P50        float64  `json:"latency_p50_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 3 || st.Batches == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	var clips uint64
+	for size, n := range st.BatchSizes {
+		clips += uint64(size+1) * n
+	}
+	if clips != st.Served {
+		t.Fatalf("histogram accounts for %d clips, served %d", clips, st.Served)
+	}
+	if st.P50 <= 0 {
+		t.Fatalf("latency p50 %v, want > 0", st.P50)
+	}
+}
+
+func TestDetectAfterCloseUnavailable(t *testing.T) {
+	cfg := model.OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := cfg.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(cfg, net, 0.5, Options{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	resp := postJSON(t, ts.URL+"/v1/detect", validDetectRequest())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	env := decodeError(t, resp)
+	resp.Body.Close()
+	if env.Error.Code != CodeUnavailable {
+		t.Fatalf("code %q", env.Error.Code)
 	}
 }
 
 func TestDetectConcurrentRequests(t *testing.T) {
-	// The server must serialize inference internally; concurrent clients
-	// must all succeed (this races without the mutex).
+	// Concurrent clients must all succeed; the pool coalesces them into
+	// batches across replicas (this races without replica isolation).
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
 	var wg sync.WaitGroup
@@ -150,9 +333,8 @@ func TestDetectConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			req := DetectRequest{Bands: 4, Size: 40, Pixels: make([]float32, 4*40*40)}
-			body, _ := json.Marshal(req)
-			resp, err := http.Post(ts.URL+"/detect", "application/json", bytes.NewReader(body))
+			body, _ := json.Marshal(validDetectRequest())
+			resp, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(body))
 			if err != nil {
 				errs <- err
 				return
@@ -169,5 +351,22 @@ func TestDetectConcurrentRequests(t *testing.T) {
 		if err != nil {
 			t.Fatalf("concurrent request failed: %v", err)
 		}
+	}
+}
+
+func TestUnknownRouteEnvelope(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	env := decodeError(t, resp)
+	resp.Body.Close()
+	if env.Error.Code != CodeNotFound {
+		t.Fatalf("code %q, want %q", env.Error.Code, CodeNotFound)
 	}
 }
