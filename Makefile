@@ -2,17 +2,21 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race test-race-serve bench bench-serve \
+.PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
+        bench bench-serve bench-telemetry \
         test-short bench-fast experiments experiments-train examples renders clean
 
 all: build vet test
 
-# The gate for every change: build, vet, full tests, and a race-checked
-# pass over the concurrent serving path (batcher + HTTP layer).
-check: build vet test test-race-serve
+# The gate for every change: build, vet, full tests, and race-checked
+# passes over the concurrent paths (batcher + HTTP layer + telemetry).
+check: build vet test test-race-serve test-race-telemetry
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
+
+test-race-telemetry:
+	$(GO) test -race ./internal/telemetry/...
 
 build:
 	$(GO) build ./...
@@ -40,6 +44,12 @@ bench-fast:
 # Serving throughput: single-mutex path vs batched multi-replica pool.
 bench-serve:
 	$(GO) test -bench BenchmarkServeThroughput -benchtime 2s ./internal/serve/
+
+# Telemetry hot-path overhead: counter/histogram recording and event
+# emission must stay well under 100 ns/op, since every served request
+# pays them.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkRegistry|BenchmarkEmit' -benchmem ./internal/telemetry/
 
 # Regenerate the paper's evaluation without training experiments.
 experiments:

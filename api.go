@@ -15,6 +15,7 @@ import (
 	"drainnet/internal/profiler"
 	"drainnet/internal/serve"
 	"drainnet/internal/serve/batcher"
+	"drainnet/internal/telemetry"
 	"drainnet/internal/tensor"
 	"drainnet/internal/terrain"
 	"drainnet/internal/train"
@@ -350,6 +351,31 @@ type ServeOptions = serve.Options
 func NewDetectorServer(cfg ModelConfig, net *Network, threshold float64, opts ServeOptions) (*DetectorServer, error) {
 	return serve.NewWithOptions(cfg, net, threshold, opts)
 }
+
+// ---- Telemetry (serving observability) ----
+
+// Telemetry is the serving observability subsystem: a lock-free metrics
+// registry, a span pipeline that assembles per-request timelines from
+// typed events, and 1-in-N Chrome-trace sampling. Pass one to
+// ServeOptions.Telemetry or PoolOptions.Telemetry; scrape it at
+// /v1/metrics.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryOptions configures the span pipeline: ring size, trace
+// sampling rate, trace sink, and an optional shared registry.
+type TelemetryOptions = telemetry.Options
+
+// MetricsRegistry holds named counters, gauges, and histograms with
+// Prometheus text and JSON exposition.
+type MetricsRegistry = telemetry.Registry
+
+// NewTelemetry starts a telemetry instance with a running span pipeline.
+// Close it after the pool/server that uses it.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// TraceFileSink returns a trace sink writing each sampled request trace
+// to dir/req-<id>.trace.json, for TelemetryOptions.TraceSink.
+func TraceFileSink(dir string) func(*telemetry.Span, []byte) { return telemetry.FileSink(dir) }
 
 // ---- Model persistence ----
 

@@ -5,18 +5,25 @@
 //	POST /v1/detect/batch  [{...},{...}] → positional results/errors
 //	GET  /v1/model         served architecture and parameter count
 //	GET  /v1/stats         queue depth, batch histogram, latency quantiles
+//	GET  /v1/metrics       Prometheus text exposition (?format=json for JSON)
+//	GET  /v1/trace         most recent sampled request as Chrome trace JSON
 //	GET  /healthz          liveness
+//	GET  /debug/pprof/*    Go profiling endpoints (only with -pprof)
 //
 // (Legacy unversioned /detect and /model remain as deprecated aliases.)
 //
 // Inference is batched across a pool of independent model replicas;
 // -max-batch and -max-wait tune the §6.4 latency/throughput trade-off.
+// Telemetry is on by default: serving counters and phase histograms are
+// always scrapeable at /v1/metrics, and -trace-sample N additionally
+// exports every N-th request's span as a Chrome trace.
 //
 // Usage:
 //
 //	drainnet-serve -addr :8080                 # train quickly, then serve
 //	drainnet-serve -ckpt model.ckpt            # load a saved checkpoint
 //	drainnet-serve -replicas 4 -max-batch 32 -max-wait 2ms -queue 256
+//	drainnet-serve -trace-sample 100 -trace-dir traces/ -pprof
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"drainnet/internal/experiments"
 	"drainnet/internal/model"
 	"drainnet/internal/serve"
+	"drainnet/internal/telemetry"
 	"drainnet/internal/train"
 )
 
@@ -46,6 +54,10 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits for its batch to fill")
 	queue := flag.Int("queue", 64, "bounded request queue size (full queue → 429)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (queue + inference)")
+	telemetryOn := flag.Bool("telemetry", true, "run the span pipeline feeding /v1/metrics phase histograms")
+	traceSample := flag.Int("trace-sample", 0, "export every N-th request as a Chrome trace (0 = off)")
+	traceDir := flag.String("trace-dir", "", "also write sampled traces to this directory (req-<id>.trace.json)")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
 	flag.Parse()
 
 	dc := experiments.TinyData()
@@ -78,19 +90,35 @@ func main() {
 		fmt.Printf("trained: AP@%.1f = %.1f%%\n", dc.IoUThreshold, ev.AP*100)
 	}
 
+	var tel *telemetry.Telemetry
+	if *telemetryOn {
+		topts := telemetry.Options{SampleEvery: *traceSample}
+		if *traceDir != "" {
+			topts.TraceSink = telemetry.FileSink(*traceDir)
+		}
+		tel = telemetry.New(topts)
+	} else {
+		tel = telemetry.NewDisabled()
+	}
+
 	srv, err := serve.NewWithOptions(cfg, net, *threshold, serve.Options{
 		Replicas:       *replicas,
 		MaxBatch:       *maxBatch,
 		MaxWait:        *maxWait,
 		QueueSize:      *queue,
 		RequestTimeout: *timeout,
+		Telemetry:      tel,
+		EnablePprof:    *pprofOn,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	popts := srv.Pool().Options()
-	fmt.Printf("serving %s on %s (%d replicas, batch ≤ %d, wait ≤ %v, queue %d)\n",
-		cfg.Name, *addr, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize)
+	// One structured line with the full resolved configuration, so a log
+	// scraper (or a human) sees every serving knob in one place.
+	fmt.Printf("level=info msg=serving model=%q addr=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t\n",
+		cfg.Name, *addr, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
+		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -102,7 +130,7 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case s := <-sig:
-		fmt.Printf("\n%v: draining...\n", s)
+		fmt.Printf("level=info msg=draining signal=%v\n", s)
 	}
 
 	// Stop accepting connections, finish in-flight HTTP exchanges, then
@@ -114,6 +142,6 @@ func main() {
 	}
 	srv.Close()
 	st := srv.Pool().Stats()
-	fmt.Printf("served %d clips in %d batches (mean batch %.2f), rejected %d\n",
-		st.Served, st.Batches, st.MeanBatch, st.Rejected)
+	fmt.Printf("level=info msg=drained served=%d batches=%d mean_batch=%.2f rejected=%d canceled=%d\n",
+		st.Served, st.Batches, st.MeanBatch, st.Rejected, st.Canceled)
 }

@@ -28,6 +28,7 @@ import (
 	"drainnet/internal/metrics"
 	"drainnet/internal/model"
 	"drainnet/internal/nn"
+	"drainnet/internal/telemetry"
 	"drainnet/internal/tensor"
 )
 
@@ -57,11 +58,19 @@ type Options struct {
 	// QueueSize is the bounded queue capacity (default 64). When the
 	// queue is full Submit returns ErrQueueFull.
 	QueueSize int
+	// Telemetry receives serving metrics and span events. Nil selects a
+	// private registry-only instance (metrics still accumulate and feed
+	// Stats; no span pipeline runs). Pools sharing one Telemetry share
+	// its registry metrics.
+	Telemetry *telemetry.Telemetry
 }
 
 func (o Options) withDefaults() Options {
 	if o.Replicas <= 0 {
 		o.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.NewDisabled()
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 8
@@ -79,6 +88,7 @@ func (o Options) withDefaults() Options {
 type request struct {
 	ctx  context.Context
 	x    *tensor.Tensor // 1×C×H×W
+	id   uint64         // telemetry span ID
 	enq  time.Time
 	done chan result // buffered(1); worker always delivers
 }
@@ -110,10 +120,14 @@ type Pool struct {
 	workersDone    chan struct{}
 
 	stats *statsAccum
+	tel   *telemetry.Telemetry
 
 	// detect runs one forward pass; tests may substitute a stub to make
-	// timing-sensitive behavior deterministic.
-	detect func(net *nn.Sequential, x *tensor.Tensor) []metrics.Detection
+	// timing-sensitive behavior deterministic. detectTimed is the
+	// per-layer-timed variant used when a batch carries a trace-sampled
+	// request.
+	detect      func(net *nn.Sequential, x *tensor.Tensor) []metrics.Detection
+	detectTimed func(net *nn.Sequential, x *tensor.Tensor, hook model.LayerHook) []metrics.Detection
 }
 
 // New builds a pool of opts.Replicas copies of net (which must have been
@@ -138,7 +152,9 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 		dispatcherDone: make(chan struct{}),
 		workersDone:    make(chan struct{}),
 		stats:          newStatsAccum(opts),
+		tel:            opts.Telemetry,
 		detect:         model.Detect,
+		detectTimed:    model.DetectWithHook,
 	}
 	go p.dispatch()
 	go p.runWorkers(replicas)
@@ -178,7 +194,11 @@ func (p *Pool) Submit(ctx context.Context, x *tensor.Tensor) (metrics.Detection,
 	if x == nil || x.Rank() != 4 || x.Dim(0) != 1 {
 		return metrics.Detection{}, errors.New("batcher: Submit wants a 1×C×H×W tensor")
 	}
-	req := &request{ctx: ctx, x: x, enq: time.Now(), done: make(chan result, 1)}
+	id, ok := telemetry.RequestID(ctx)
+	if !ok {
+		id = p.tel.NextRequestID()
+	}
+	req := &request{ctx: ctx, x: x, id: id, enq: time.Now(), done: make(chan result, 1)}
 
 	if !p.closing.enter() {
 		p.stats.reject()
@@ -187,6 +207,8 @@ func (p *Pool) Submit(ctx context.Context, x *tensor.Tensor) (metrics.Detection,
 	select {
 	case p.queue <- req:
 		p.closing.leave()
+		p.stats.setQueueDepth(len(p.queue))
+		p.tel.Emit(telemetry.Event{Kind: telemetry.EvEnqueued, Req: req.id, At: req.enq})
 	default:
 		p.closing.leave()
 		p.stats.reject()
@@ -306,6 +328,9 @@ func (p *Pool) flushGroup(pending map[string][]*request, key string) {
 	live := reqs[:0]
 	for _, r := range reqs {
 		if r.ctx.Err() != nil {
+			// Close the span before delivering: the emit must be in the
+			// ring before the waiter can emit EvResponseWritten.
+			p.tel.Emit(telemetry.Event{Kind: telemetry.EvInferenceDone, Req: r.id, At: time.Now()})
 			r.done <- result{err: r.ctx.Err()}
 			continue
 		}
@@ -313,6 +338,12 @@ func (p *Pool) flushGroup(pending map[string][]*request, key string) {
 	}
 	if len(live) == 0 {
 		return
+	}
+	if p.tel.Enabled() {
+		now := time.Now()
+		for _, r := range live {
+			p.tel.Emit(telemetry.Event{Kind: telemetry.EvBatchFormed, Req: r.id, At: now, Batch: len(live)})
+		}
 	}
 	p.work <- &job{reqs: live}
 }
@@ -347,9 +378,37 @@ func (p *Pool) runBatch(id int, net *nn.Sequential, j *job) {
 		copy(batch.Data()[i*stride:(i+1)*stride], r.x.Data())
 	}
 
-	dets, err := p.safeDetect(net, batch)
-	if err != nil {
+	// Emit dispatch events and, when the batch carries a trace-sampled
+	// request, run the per-layer-timed forward pass so the sampled
+	// span's Chrome trace shows the layer breakdown.
+	var hook model.LayerHook
+	if p.tel.Enabled() {
+		start := time.Now()
+		var sampled []uint64
 		for _, r := range j.reqs {
+			p.tel.Emit(telemetry.Event{Kind: telemetry.EvDispatch, Req: r.id, At: start, Replica: id, Batch: n})
+			if p.tel.Sampled(r.id) {
+				sampled = append(sampled, r.id)
+			}
+		}
+		if len(sampled) > 0 {
+			hook = func(layer int, name string, d time.Duration) {
+				for _, rid := range sampled {
+					p.tel.Emit(telemetry.Event{Kind: telemetry.EvLayerForward,
+						Req: rid, Layer: layer, Name: name, Dur: d, Replica: id})
+				}
+			}
+		}
+	}
+
+	// Record stats and emit EvInferenceDone *before* delivering each
+	// result: once a waiter unblocks it may immediately read /v1/stats or
+	// emit EvResponseWritten, so both must already be ordered ahead.
+	dets, err := p.safeDetect(net, batch, hook)
+	if err != nil {
+		now := time.Now()
+		for _, r := range j.reqs {
+			p.tel.Emit(telemetry.Event{Kind: telemetry.EvInferenceDone, Req: r.id, At: now})
 			r.done <- result{err: err}
 		}
 		return
@@ -357,21 +416,29 @@ func (p *Pool) runBatch(id int, net *nn.Sequential, j *job) {
 	now := time.Now()
 	lats := make([]time.Duration, n)
 	for i, r := range j.reqs {
-		r.done <- result{det: dets[i]}
 		lats[i] = now.Sub(r.enq)
 	}
 	p.stats.record(id, n, lats)
+	for i, r := range j.reqs {
+		p.tel.Emit(telemetry.Event{Kind: telemetry.EvInferenceDone, Req: r.id, At: now})
+		r.done <- result{det: dets[i]}
+	}
 }
 
 // safeDetect converts a panicking forward pass (bad shapes reaching a
 // layer, etc.) into an error for this batch instead of killing the worker.
-func (p *Pool) safeDetect(net *nn.Sequential, x *tensor.Tensor) (dets []metrics.Detection, err error) {
+// A non-nil hook selects the per-layer-timed path.
+func (p *Pool) safeDetect(net *nn.Sequential, x *tensor.Tensor, hook model.LayerHook) (dets []metrics.Detection, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("batcher: inference failed: %v", r)
 		}
 	}()
-	dets = p.detect(net, x)
+	if hook != nil {
+		dets = p.detectTimed(net, x, hook)
+	} else {
+		dets = p.detect(net, x)
+	}
 	if len(dets) != x.Dim(0) {
 		return nil, fmt.Errorf("batcher: detector returned %d results for batch of %d", len(dets), x.Dim(0))
 	}

@@ -115,8 +115,16 @@ func TestQueueOverflow(t *testing.T) {
 	p := newTestPool(t, Options{Replicas: 1, MaxBatch: 1, MaxWait: time.Millisecond, QueueSize: 2})
 	p.detect = stubDetect(block)
 
+	// Unblock the stubbed replica even when an assertion fails mid-test;
+	// otherwise the pool's cleanup Close hangs on the parked worker.
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(block) }) }
+	defer unblock()
+
 	// Capacity while the single replica is blocked: 1 in the worker, 1 in
 	// the work buffer, 1 held by the stalled dispatcher, 2 in the queue.
+	// Submissions are paced so the dispatcher keeps up and none of these
+	// five sees a transiently full queue (Submit is fail-fast by design).
 	const inFlight = 5
 	var wg sync.WaitGroup
 	for i := 0; i < inFlight; i++ {
@@ -127,6 +135,7 @@ func TestQueueOverflow(t *testing.T) {
 				t.Error(err)
 			}
 		}()
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	// Wait until the pipeline is saturated (bounded queue at capacity).
@@ -142,7 +151,7 @@ func TestQueueOverflow(t *testing.T) {
 		t.Fatalf("overflow submit: err=%v, want ErrQueueFull", err)
 	}
 
-	close(block)
+	unblock()
 	wg.Wait()
 	st := p.Stats()
 	if st.Served != inFlight || st.Rejected != 1 {

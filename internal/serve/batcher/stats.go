@@ -1,17 +1,17 @@
 package batcher
 
 import (
-	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"drainnet/internal/telemetry"
 )
 
-// latencyWindow is how many recent request latencies the quantile
-// estimator keeps (a ring buffer; old samples age out under load).
-const latencyWindow = 2048
-
 // Stats is a point-in-time snapshot of pool serving statistics, shaped
-// for the /v1/stats endpoint.
+// for the /v1/stats endpoint. Since PR 2 it is a *view over the
+// telemetry registry* — the same counters and histograms /v1/metrics
+// exports — so the two endpoints cannot drift.
 type Stats struct {
 	Replicas      int `json:"replicas"`
 	MaxBatch      int `json:"max_batch"`
@@ -35,110 +35,119 @@ type Stats struct {
 	// PerReplica counts clips served by each replica.
 	PerReplica []uint64 `json:"per_replica_served"`
 
-	// Latency quantiles (milliseconds) over a sliding window of recent
-	// requests, measured enqueue → result delivery.
+	// Latency quantiles (milliseconds) estimated from the
+	// drainnet_request_latency_seconds histogram, measured enqueue →
+	// result delivery.
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP95Ms float64 `json:"latency_p95_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
-// statsAccum accumulates counters under one mutex; the hot path locks
-// once per batch, not per request.
+// statsAccum records pool activity straight into telemetry registry
+// metrics. Counts are recorded synchronously on the serving path (so a
+// Stats snapshot taken after Submit returns is exact); the hot path
+// cost is a handful of atomic adds per batch.
 type statsAccum struct {
-	mu         sync.Mutex
-	served     uint64
-	rejected   uint64
-	canceled   uint64
-	batches    uint64
-	batchSizes []uint64
-	perReplica []uint64
-
-	lat  []float64 // ring of latencies in ms
-	next int
-	n    int
+	served     *telemetry.Counter
+	rejected   *telemetry.Counter
+	canceled   *telemetry.Counter
+	batches    *telemetry.Counter
+	batchSize  *telemetry.Histogram
+	latency    *telemetry.Histogram
+	queueDepth *telemetry.Gauge
+	perReplica []*telemetry.Counter
 
 	replicas, maxBatch, queueCap int
 }
 
 func newStatsAccum(opts Options) *statsAccum {
-	return &statsAccum{
-		batchSizes: make([]uint64, opts.MaxBatch),
-		perReplica: make([]uint64, opts.Replicas),
-		lat:        make([]float64, latencyWindow),
-		replicas:   opts.Replicas,
-		maxBatch:   opts.MaxBatch,
-		queueCap:   opts.QueueSize,
+	reg := opts.Telemetry.Registry()
+	sizeBounds := make([]float64, opts.MaxBatch)
+	for i := range sizeBounds {
+		sizeBounds[i] = float64(i + 1)
 	}
+	s := &statsAccum{
+		served: reg.Counter("drainnet_requests_served_total",
+			"Requests answered with a detection."),
+		rejected: reg.Counter("drainnet_requests_rejected_total",
+			"Requests refused: queue full or pool closed."),
+		canceled: reg.Counter("drainnet_requests_canceled_total",
+			"Requests whose context ended before a result was delivered."),
+		batches: reg.Counter("drainnet_batches_total",
+			"Forward passes executed by the replica pool."),
+		batchSize: reg.Histogram("drainnet_batch_size",
+			"Clips coalesced into one forward pass (the realized §6.4 batch size).", sizeBounds),
+		latency: reg.Histogram("drainnet_request_latency_seconds",
+			"Request latency, enqueue to result delivery.", telemetry.TimeBuckets),
+		queueDepth: reg.Gauge("drainnet_queue_depth",
+			"Requests waiting on the bounded queue."),
+		replicas: opts.Replicas,
+		maxBatch: opts.MaxBatch,
+		queueCap: opts.QueueSize,
+	}
+	vec := reg.CounterVec("drainnet_replica_served_total",
+		"Clips served, by replica.", "replica")
+	s.perReplica = make([]*telemetry.Counter, opts.Replicas)
+	for i := range s.perReplica {
+		s.perReplica[i] = vec.With(strconv.Itoa(i))
+	}
+	return s
 }
 
-func (s *statsAccum) reject() {
-	s.mu.Lock()
-	s.rejected++
-	s.mu.Unlock()
-}
+func (s *statsAccum) reject() { s.rejected.Inc() }
 
-func (s *statsAccum) cancel() {
-	s.mu.Lock()
-	s.canceled++
-	s.mu.Unlock()
-}
+func (s *statsAccum) cancel() { s.canceled.Inc() }
+
+func (s *statsAccum) setQueueDepth(n int) { s.queueDepth.Set(float64(n)) }
 
 // record logs one completed batch of n clips on the given replica.
 func (s *statsAccum) record(replica, n int, lats []time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.served += uint64(n)
-	s.batches++
-	if n >= 1 && n <= len(s.batchSizes) {
-		s.batchSizes[n-1]++
-	}
+	s.served.Add(uint64(n))
+	s.batches.Inc()
+	s.batchSize.Observe(float64(n))
 	if replica >= 0 && replica < len(s.perReplica) {
-		s.perReplica[replica] += uint64(n)
+		s.perReplica[replica].Add(uint64(n))
 	}
 	for _, d := range lats {
-		s.lat[s.next] = float64(d) / float64(time.Millisecond)
-		s.next = (s.next + 1) % len(s.lat)
-		if s.n < len(s.lat) {
-			s.n++
-		}
+		s.latency.Observe(d.Seconds())
 	}
 }
 
 func (s *statsAccum) snapshot(queueDepth int) Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.queueDepth.Set(float64(queueDepth))
 	st := Stats{
 		Replicas:      s.replicas,
 		MaxBatch:      s.maxBatch,
 		QueueCapacity: s.queueCap,
 		QueueDepth:    queueDepth,
-		Served:        s.served,
-		Rejected:      s.rejected,
-		Canceled:      s.canceled,
-		Batches:       s.batches,
-		BatchSizes:    append([]uint64(nil), s.batchSizes...),
-		PerReplica:    append([]uint64(nil), s.perReplica...),
+		Served:        s.served.Value(),
+		Rejected:      s.rejected.Value(),
+		Canceled:      s.canceled.Value(),
+		Batches:       s.batches.Value(),
+		BatchSizes:    make([]uint64, s.maxBatch),
+		PerReplica:    make([]uint64, len(s.perReplica)),
 	}
-	if s.batches > 0 {
-		st.MeanBatch = float64(s.served) / float64(s.batches)
+	// Bucket bounds are exactly 1..MaxBatch, so per-bucket counts are
+	// exact per-size counts (batch sizes are integers).
+	sizes := s.batchSize.Snapshot()
+	for i := range st.BatchSizes {
+		if i < len(sizes.Counts) {
+			st.BatchSizes[i] = sizes.Counts[i]
+		}
 	}
-	if s.n > 0 {
-		sorted := append([]float64(nil), s.lat[:s.n]...)
-		sort.Float64s(sorted)
-		st.LatencyP50Ms = quantile(sorted, 0.50)
-		st.LatencyP95Ms = quantile(sorted, 0.95)
-		st.LatencyP99Ms = quantile(sorted, 0.99)
+	for i, c := range s.perReplica {
+		st.PerReplica[i] = c.Value()
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.Served) / float64(st.Batches)
+	}
+	lat := s.latency.Snapshot()
+	if lat.Count > 0 {
+		st.LatencyP50Ms = lat.Quantile(0.50) * 1000
+		st.LatencyP95Ms = lat.Quantile(0.95) * 1000
+		st.LatencyP99Ms = lat.Quantile(0.99) * 1000
 	}
 	return st
-}
-
-// quantile reads the q-th quantile from an ascending slice (nearest-rank).
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 // closeGate lets many submitters enter concurrently while letting Close

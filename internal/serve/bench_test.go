@@ -42,6 +42,11 @@ func benchClip() *tensor.Tensor {
 // reports its realized mean batch size. Replica parallelism needs
 // GOMAXPROCS > 1 to pay off; batching pays off on any core count.
 func BenchmarkServeThroughput(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("replica parallelism needs GOMAXPROCS > 1: on a single " +
+			"core the pool and the mutex both serialize forward passes, so " +
+			"the comparison measures scheduler noise, not batching")
+	}
 	b.Run("single-mutex", func(b *testing.B) {
 		_, net := benchNet(b)
 		var mu sync.Mutex

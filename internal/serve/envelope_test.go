@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// These tests pin down the /v1 error-envelope contract at its edges:
+// the catch-all 404 body shape, method enforcement on every route, and
+// the deprecation headers on both legacy aliases.
+
+func TestNotFoundEnvelopeExactShape(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v2/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The body must be exactly {"error":{"code":...,"message":...}} —
+	// one top-level key, two keys inside, nothing extra.
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(body, &top); err != nil {
+		t.Fatalf("404 body is not JSON: %v\n%s", err, body)
+	}
+	if len(top) != 1 || top["error"] == nil {
+		t.Fatalf("404 body keys %v, want exactly {error}", top)
+	}
+	var inner map[string]string
+	if err := json.Unmarshal(top["error"], &inner); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner) != 2 {
+		t.Fatalf("error object keys %v, want exactly {code, message}", inner)
+	}
+	if inner["code"] != CodeNotFound {
+		t.Fatalf("code %q, want %q", inner["code"], CodeNotFound)
+	}
+	if !strings.Contains(inner["message"], "/v2/detect") {
+		t.Fatalf("message %q should name the missing path", inner["message"])
+	}
+}
+
+func TestMethodNotAllowedOnEveryRoute(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodDelete, "/v1/model", http.MethodGet},
+		{http.MethodPut, "/v1/stats", http.MethodGet},
+		{http.MethodPost, "/v1/metrics", http.MethodGet},
+		{http.MethodPost, "/v1/trace", http.MethodGet},
+		{http.MethodGet, "/v1/detect", http.MethodPost},
+		{http.MethodGet, "/v1/detect/batch", http.MethodPost},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != c.allow {
+			t.Fatalf("%s %s: Allow %q, want %q", c.method, c.path, allow, c.allow)
+		}
+		env := decodeError(t, resp)
+		resp.Body.Close()
+		if env.Error.Code != CodeMethodNotAllowed {
+			t.Fatalf("%s %s: code %q, want %q", c.method, c.path, env.Error.Code, CodeMethodNotAllowed)
+		}
+	}
+}
+
+func TestLegacyAliasesAdvertiseSuccessors(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /model status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy /model missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); link != `</v1/model>; rel="successor-version"` {
+		t.Fatalf("legacy /model Link header %q", link)
+	}
+}
+
+func TestLegacyAliasErrorsKeepDeprecationHeaders(t *testing.T) {
+	// Even an enveloped error from a legacy alias carries the migration
+	// headers: clients hitting only error paths still learn the successor.
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/detect") // GET on a POST route
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy error response missing Deprecation header")
+	}
+	env := decodeError(t, resp)
+	if env.Error.Code != CodeMethodNotAllowed {
+		t.Fatalf("code %q", env.Error.Code)
+	}
+}

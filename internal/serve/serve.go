@@ -5,7 +5,10 @@
 //	POST /v1/detect/batch  a slice of clips, per-item results or errors
 //	GET  /v1/model         served architecture and parameter count
 //	GET  /v1/stats         batching/latency statistics (JSON)
+//	GET  /v1/metrics       Prometheus text exposition (?format=json)
+//	GET  /v1/trace         latest sampled request as Chrome trace JSON
 //	GET  /healthz          liveness (unversioned)
+//	GET  /debug/pprof/*    Go profiling (only with Options.EnablePprof)
 //
 // The legacy unversioned /detect and /model routes remain as deprecated
 // aliases for one release; they answer with Deprecation/Link headers.
@@ -14,6 +17,11 @@
 // concurrent requests are coalesced into batches sized by the §6.4
 // efficiency curve and dispatched across independent network replicas.
 // Errors use a uniform envelope: {"error":{"code":"...","message":"..."}}.
+//
+// Every request flows through internal/telemetry: handlers and the pool
+// emit span events (accepted → enqueued → batch formed → dispatch →
+// inference done → response written) that aggregate into the registry
+// served by /v1/metrics; /v1/stats is a view over the same registry.
 package serve
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -31,6 +40,7 @@ import (
 	"drainnet/internal/model"
 	"drainnet/internal/nn"
 	"drainnet/internal/serve/batcher"
+	"drainnet/internal/telemetry"
 	"drainnet/internal/tensor"
 )
 
@@ -88,6 +98,13 @@ type Options struct {
 	// RequestTimeout bounds one request's time in queue + inference
 	// (default 30s; ≤0 keeps the default).
 	RequestTimeout time.Duration
+	// Telemetry is the observability hub serving /v1/metrics and /v1/
+	// trace. Nil creates a default always-on instance (span pipeline
+	// enabled, no trace sampling). The server owns it either way and
+	// closes it in Close.
+	Telemetry *telemetry.Telemetry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +121,10 @@ type Server struct {
 	opts      Options
 	pool      *batcher.Pool
 	params    int
+
+	tel          *telemetry.Telemetry
+	httpRequests *telemetry.CounterVec
+	httpDuration *telemetry.HistogramVec
 }
 
 // New creates a server with default pool options. cfg must be the
@@ -121,43 +142,102 @@ func New(cfg model.Config, net *nn.Sequential, threshold float64) *Server {
 // opts. The pool takes ownership of net (replica 0).
 func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.New(telemetry.Options{})
+	}
 	params := nn.ParamCount(net)
 	pool, err := batcher.New(cfg, net, batcher.Options{
 		Replicas:  opts.Replicas,
 		MaxBatch:  opts.MaxBatch,
 		MaxWait:   opts.MaxWait,
 		QueueSize: opts.QueueSize,
+		Telemetry: tel,
 	})
 	if err != nil {
+		tel.Close()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	return &Server{cfg: cfg, threshold: threshold, opts: opts, pool: pool, params: params}, nil
+	s := &Server{cfg: cfg, threshold: threshold, opts: opts, pool: pool, params: params, tel: tel}
+	s.httpRequests = tel.Registry().CounterVec("drainnet_http_requests_total",
+		"HTTP requests, by route and status code.", "route", "code")
+	s.httpDuration = tel.Registry().HistogramVec("drainnet_http_request_duration_seconds",
+		"HTTP request handling time, by route.", telemetry.TimeBuckets, "route")
+	return s, nil
 }
 
 // Pool exposes the underlying replica pool (stats, direct submission).
 func (s *Server) Pool() *batcher.Pool { return s.pool }
 
-// Close drains the inference pool: queued requests finish, new ones are
-// refused. Call after the HTTP listener stops accepting connections.
-func (s *Server) Close() { s.pool.Close() }
+// Telemetry exposes the server's observability hub (registry, span
+// pipeline, sampled traces).
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 
-// Handler returns the HTTP routes.
+// Close drains the inference pool — queued requests finish, new ones
+// are refused — then stops the telemetry pipeline (its registry stays
+// readable). Call after the HTTP listener stops accepting connections.
+func (s *Server) Close() {
+	s.pool.Close()
+	s.tel.Close()
+}
+
+// Handler returns the HTTP routes. Every route is wrapped with request
+// counting and duration metrics (drainnet_http_requests_total,
+// drainnet_http_request_duration_seconds) labeled by route pattern.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/model", method(http.MethodGet, s.handleModel))
-	mux.HandleFunc("/v1/stats", method(http.MethodGet, s.handleStats))
-	mux.HandleFunc("/v1/detect", method(http.MethodPost, s.handleDetect))
-	mux.HandleFunc("/v1/detect/batch", method(http.MethodPost, s.handleDetectBatch))
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("/healthz", s.handleHealth)
+	handle("/v1/model", method(http.MethodGet, s.handleModel))
+	handle("/v1/stats", method(http.MethodGet, s.handleStats))
+	handle("/v1/metrics", method(http.MethodGet, s.handleMetrics))
+	handle("/v1/trace", method(http.MethodGet, s.handleTrace))
+	handle("/v1/detect", method(http.MethodPost, s.handleDetect))
+	handle("/v1/detect/batch", method(http.MethodPost, s.handleDetectBatch))
 	// Deprecated unversioned aliases, kept for one release.
-	mux.HandleFunc("/model", deprecated("/v1/model", method(http.MethodGet, s.handleModel)))
-	mux.HandleFunc("/detect", deprecated("/v1/detect", method(http.MethodPost, s.handleDetect)))
+	handle("/model", deprecated("/v1/model", method(http.MethodGet, s.handleModel)))
+	handle("/detect", deprecated("/v1/detect", method(http.MethodPost, s.handleDetect)))
+	if s.opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	// Everything else gets the JSON envelope, not the mux's text 404.
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &apiError{Status: http.StatusNotFound, Code: CodeNotFound,
 			Message: "no such route: " + r.URL.Path})
-	})
+	}))
 	return mux
+}
+
+// instrument wraps a handler with per-route HTTP metrics. The route
+// label is the registered pattern, not the raw path, so cardinality
+// stays bounded.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.httpRequests
+	duration := s.httpDuration.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		requests.With(route, strconv.Itoa(sw.status)).Inc()
+		duration.Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusWriter captures the response status for the HTTP metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -183,7 +263,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.pool.Stats())
 }
 
+// handleMetrics exposes the telemetry registry: Prometheus text by
+// default, the JSON snapshot with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.tel.Registry().Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.tel.Registry().WritePrometheus(w)
+}
+
+// handleTrace serves the most recent sampled request span as Chrome
+// trace JSON (open at chrome://tracing or ui.perfetto.dev).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, trace := s.tel.LatestTrace()
+	if trace == nil {
+		writeError(w, &apiError{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: "no sampled trace captured yet (is -trace-sample enabled?)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Drainnet-Request-Id", strconv.FormatUint(id, 10))
+	_, _ = w.Write(trace)
+}
+
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	id := s.tel.NextRequestID()
+	s.tel.Emit(telemetry.Event{Kind: telemetry.EvAccepted, Req: id, At: time.Now()})
+	defer func() {
+		s.tel.Emit(telemetry.Event{Kind: telemetry.EvResponseWritten, Req: id, At: time.Now()})
+	}()
 	var req DetectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, badRequest(CodeBadJSON, "bad JSON: "+err.Error()))
@@ -193,7 +303,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	resp, e := s.infer(r.Context(), &req)
+	resp, e := s.infer(telemetry.WithRequestID(r.Context(), id), &req)
 	if e != nil {
 		writeError(w, e)
 		return
@@ -217,18 +327,23 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Validate positionally, then submit the valid items concurrently so
-	// the pool can coalesce them into shared batches.
+	// the pool can coalesce them into shared batches. Each valid item is
+	// its own telemetry span; the response-written event lands after the
+	// whole batch response is serialized.
 	items := make([]BatchItem, len(reqs))
+	ids := make([]uint64, len(reqs))
 	var wg sync.WaitGroup
 	for i := range reqs {
 		if e := s.validate(&reqs[i]); e != nil {
 			items[i].Error = &ErrorBody{Code: e.Code, Message: fmt.Sprintf("item %d: %s", i, e.Message)}
 			continue
 		}
+		ids[i] = s.tel.NextRequestID()
+		s.tel.Emit(telemetry.Event{Kind: telemetry.EvAccepted, Req: ids[i], At: time.Now()})
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, e := s.infer(r.Context(), &reqs[i])
+			resp, e := s.infer(telemetry.WithRequestID(r.Context(), ids[i]), &reqs[i])
 			if e != nil {
 				items[i].Error = &ErrorBody{Code: e.Code, Message: fmt.Sprintf("item %d: %s", i, e.Message)}
 				return
@@ -238,6 +353,12 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, items)
+	now := time.Now()
+	for _, id := range ids {
+		if id != 0 {
+			s.tel.Emit(telemetry.Event{Kind: telemetry.EvResponseWritten, Req: id, At: now})
+		}
+	}
 }
 
 // validate applies the request schema: band count, positive and

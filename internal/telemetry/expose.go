@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricPoint is one exported sample in the JSON exposition: a counter
+// or gauge value, or a histogram snapshot.
+type MetricPoint struct {
+	Name      string             `json:"name"`
+	Type      string             `json:"type"`
+	Help      string             `json:"help,omitempty"`
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// snapshotFamilies copies the family list under the registry lock; the
+// per-family child lists are copied under each family's lock.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	return fams
+}
+
+func (f *family) snapshotChildren() ([]string, []interface{}) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := append([]string(nil), f.corder...)
+	children := make([]interface{}, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	return keys, children
+}
+
+// Snapshot returns every metric as a flat sample list, for the JSON
+// exposition and for building derived views (e.g. /v1/stats).
+func (r *Registry) Snapshot() []MetricPoint {
+	var out []MetricPoint
+	for _, f := range r.snapshotFamilies() {
+		keys, children := f.snapshotChildren()
+		for i, key := range keys {
+			p := MetricPoint{Name: f.name, Type: f.typ.String(), Help: f.help, Labels: labelMap(f.labels, key)}
+			switch c := children[i].(type) {
+			case *Counter:
+				p.Value = float64(c.Value())
+			case *Gauge:
+				p.Value = c.Value()
+			case *Histogram:
+				s := c.Snapshot()
+				p.Histogram = &s
+				p.Value = float64(s.Count)
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func labelMap(labels []string, key string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	values := strings.Split(key, labelSep)
+	m := make(map[string]string, len(labels))
+	for i, l := range labels {
+		if i < len(values) {
+			m[l] = values[i]
+		}
+	}
+	return m
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, one line per
+// sample, histograms as cumulative le-labeled buckets plus _sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, sanitizeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		keys, children := f.snapshotChildren()
+		for i, key := range keys {
+			base := renderLabels(f.labels, key, "", "")
+			switch c := children[i].(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, base, c.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, base, formatFloat(c.Value())); err != nil {
+					return err
+				}
+			case *Histogram:
+				s := c.Snapshot()
+				var cum uint64
+				for bi, upper := range s.Upper {
+					cum += s.Counts[bi]
+					le := renderLabels(f.labels, key, "le", formatFloat(upper))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+						return err
+					}
+				}
+				cum += s.Counts[len(s.Counts)-1]
+				le := renderLabels(f.labels, key, "le", "+Inf")
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, base, formatFloat(s.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, base, s.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels formats {k1="v1",...}, optionally appending one extra
+// pair (the histogram le label). Empty label sets render as "".
+func renderLabels(labels []string, key, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	values := strings.Split(key, labelSep)
+	n := 0
+	for i, l := range labels {
+		if i >= len(values) {
+			break
+		}
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		// %q escaping (\" \\ \n) matches the Prometheus text format.
+		fmt.Fprintf(&b, "%s=%q", l, values[i])
+		n++
+	}
+	if extraKey != "" {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sanitizeHelp(h string) string {
+	return strings.ReplaceAll(h, "\n", " ")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType distinguishes the three metric families the registry holds.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String implements fmt.Stringer with the Prometheus TYPE keywords.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Registry holds named metric families. Lookup/registration takes a
+// lock; the returned metric handles are lock-free atomics, so hot paths
+// register once and record through the handle. Registration is
+// idempotent: asking for an existing name returns the existing family
+// (the type must match; histogram buckets are fixed by the first
+// registration).
+type Registry struct {
+	mu    sync.RWMutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// labelSep joins label values into child keys; it cannot appear in
+// well-formed UTF-8 label values.
+const labelSep = "\xff"
+
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64
+
+	mu       sync.RWMutex
+	children map[string]interface{}
+	corder   []string
+}
+
+func (r *Registry) family(name, help string, typ MetricType, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %v, was %v", name, typ, f.typ))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with %d labels, had %d", name, len(labels), len(f.labels)))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: map[string]interface{}{},
+	}
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func (f *family) child(values []string) interface{} {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var nc interface{}
+	switch f.typ {
+	case TypeCounter:
+		nc = &Counter{}
+	case TypeGauge:
+		nc = &Gauge{}
+	case TypeHistogram:
+		nc = newHistogram(f.buckets)
+	}
+	f.children[key] = nc
+	f.corder = append(f.corder, key)
+	return nc
+}
+
+// Counter registers (or finds) an unlabeled monotonic counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, TypeCounter, nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, TypeCounter, labels, nil)}
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, TypeGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, TypeGauge, labels, nil)}
+}
+
+// Histogram registers (or finds) an unlabeled fixed-bucket histogram;
+// buckets are ascending finite upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, TypeHistogram, nil, buckets).child(nil).(*Histogram)
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, TypeHistogram, labels, buckets)}
+}
+
+// CounterVec resolves label values to Counter children.
+type CounterVec struct{ f *family }
+
+// With returns the child counter for the given label values (in the
+// registration order of the label keys), creating it on first use.
+// Callers on hot paths should cache the returned handle.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values).(*Counter)
+}
+
+// GaugeVec resolves label values to Gauge children.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values).(*Gauge)
+}
+
+// HistogramVec resolves label values to Histogram children.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values).(*Histogram)
+}
+
+// Counter is a lock-free monotonic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free float64 gauge.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with lock-free observation.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Uint64 // len(upper)+1; last bucket is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram buckets not ascending at %d: %v", i, buckets))
+		}
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one value: a bucket increment, a count increment, and
+// a CAS-add to the running sum.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.upper, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); the final entry is the +Inf bucket.
+type HistogramSnapshot struct {
+	Upper  []float64 `json:"upper_bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Upper:  h.upper,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile by linear interpolation within
+// the bucket containing the target rank. Values beyond the last finite
+// bound clamp to it.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	lower := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			if i < len(s.Upper) {
+				lower = s.Upper[i]
+			}
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			if i >= len(s.Upper) {
+				return lower // +Inf bucket: clamp to last finite bound
+			}
+			frac := (target - (cum - float64(c))) / float64(c)
+			return lower + (s.Upper[i]-lower)*frac
+		}
+		if i < len(s.Upper) {
+			lower = s.Upper[i]
+		}
+	}
+	if len(s.Upper) > 0 {
+		return s.Upper[len(s.Upper)-1]
+	}
+	return 0
+}

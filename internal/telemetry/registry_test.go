@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h")
+	b := r.Counter("same_total", "h")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles do not share state")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "hist", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1 gets {0.5, 1.0} (inclusive), le=2 gets {1.5}, le=4 gets {3},
+	// +Inf gets {100}.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 || math.Abs(s.Sum-106) > 1e-9 {
+		t.Fatalf("count=%d sum=%v, want 5/106", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0); q < 0 || q > 1 {
+		t.Fatalf("q0 = %v, want within first bucket", q)
+	}
+	// Rank 2.5 of 5 lands halfway into the (1,2] bucket: 1.5, which is
+	// also the exact median of the observed values.
+	if q := s.Quantile(0.5); math.Abs(q-1.5) > 1e-9 {
+		t.Fatalf("q50 = %v, want 1.5", q)
+	}
+	// The max quantile clamps to the last finite bound.
+	if q := s.Quantile(1); q != 4 {
+		t.Fatalf("q100 = %v, want clamp to 4", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestVecLabelsIndependent(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("req_total", "by code", "route", "code")
+	vec.With("/v1/detect", "200").Add(3)
+	vec.With("/v1/detect", "400").Inc()
+	if got := vec.With("/v1/detect", "200").Value(); got != 3 {
+		t.Fatalf("200 child = %d, want 3", got)
+	}
+	if got := vec.With("/v1/detect", "400").Value(); got != 1 {
+		t.Fatalf("400 child = %d, want 1", got)
+	}
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [-+0-9.eE]+(e[-+][0-9]+)?$|^[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket)?\{.*le="\+Inf".*\} [0-9]+$`)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "requests served").Add(7)
+	r.Gauge("depth", "queue depth").Set(3)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.CounterVec("by_replica_total", "per replica", "replica").With("0").Add(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	for _, want := range []string{
+		"# TYPE served_total counter",
+		"served_total 7",
+		"# TYPE depth gauge",
+		"depth 3",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+		`by_replica_total{replica="0"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Inc()
+	r.Histogram("h_seconds", "h", []float64{1}).Observe(0.5)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []MetricPoint
+	if err := json.Unmarshal(b, &points); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	if points[0].Name != "c_total" || points[0].Value != 1 {
+		t.Fatalf("counter point %+v", points[0])
+	}
+	if points[1].Histogram == nil || points[1].Histogram.Count != 1 {
+		t.Fatalf("histogram point %+v", points[1])
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h", "h", TimeBuckets)
+	vec := r.CounterVec("v_total", "v", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-5)
+				vec.With("a").Inc()
+			}
+		}(i)
+	}
+	// Concurrent scrapes while writers run.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Count)
+	}
+	if vec.With("a").Value() != 8000 {
+		t.Fatalf("vec = %d, want 8000", vec.With("a").Value())
+	}
+}
