@@ -3,20 +3,34 @@
 GO ?= go
 
 .PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
-        bench bench-serve bench-telemetry \
-        test-short bench-fast experiments experiments-train examples renders clean
+        test-race-fastpath check-allocs bench bench-serve bench-telemetry \
+        bench-inference test-short bench-fast experiments experiments-train \
+        examples renders clean
 
 all: build vet test
 
-# The gate for every change: build, vet, full tests, and race-checked
-# passes over the concurrent paths (batcher + HTTP layer + telemetry).
-check: build vet test test-race-serve test-race-telemetry
+# The gate for every change: build, vet, full tests, race-checked passes
+# over the concurrent paths (batcher + HTTP layer + telemetry + the
+# inference fast path's shared worker pool), and the zero-allocation
+# regression guard on the serving forward pass.
+check: build vet test test-race-serve test-race-telemetry test-race-fastpath check-allocs
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
 
 test-race-telemetry:
 	$(GO) test -race ./internal/telemetry/...
+
+# Fast-path parity and worker-pool tests under the race detector: the
+# packed kernels, arena reuse and Infer/Forward parity all dispatch
+# through the shared pool.
+test-race-fastpath:
+	$(GO) test -race -run 'Infer|Parallel|Packed|Arena|Pool' ./internal/tensor/ ./internal/nn/ ./internal/model/
+
+# Alloc-regression guard: the steady-state serving forward must report
+# exactly 0 allocs per run (testing.AllocsPerRun inside the test).
+check-allocs:
+	$(GO) test -run TestInferSteadyStateZeroAlloc -v ./internal/model/
 
 build:
 	$(GO) build ./...
@@ -40,6 +54,11 @@ bench:
 # Simulator-only benchmarks (seconds).
 bench-fast:
 	$(GO) test -short -bench=. -benchmem -benchtime=1x .
+
+# CPU inference fast path vs the training-graph forward, batch 1 and 16.
+# Emits BENCH_inference.json for the cross-PR perf trajectory.
+bench-inference:
+	$(GO) run ./cmd/drainnet-bench -exp inference
 
 # Serving throughput: single-mutex path vs batched multi-replica pool.
 bench-serve:

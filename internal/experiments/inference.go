@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"drainnet/internal/metrics"
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+)
+
+// InferenceBenchRow is one (path, batch) measurement.
+type InferenceBenchRow struct {
+	Path      string  `json:"path"`  // "forward" (training graph) or "infer" (fast path)
+	Batch     int     `json:"batch"` // clips per forward pass
+	NsPerOp   int64   `json:"ns_per_op"`
+	NsPerImg  float64 `json:"ns_per_image"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	Iterations int    `json:"iterations"`
+}
+
+// InferenceBenchResult records the CPU inference fast-path benchmark:
+// the training-graph Forward (the pre-fast-path serving path) against
+// the packed/fused/arena Infer path at batch 1 and batch 16, plus the
+// resulting speedups. It is written to BENCH_inference.json so later
+// PRs have a perf trajectory to compare against.
+type InferenceBenchResult struct {
+	Model          string  `json:"model"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	PoolWorkers    int     `json:"pool_workers"`
+	Rows           []InferenceBenchRow `json:"rows"`
+	SpeedupBatch1  float64 `json:"speedup_batch1"`
+	SpeedupBatch16 float64 `json:"speedup_batch16"`
+}
+
+// InferenceBench benchmarks both forward paths on a width-scaled
+// Original SPP-Net and writes the result to outPath (defaults to
+// BENCH_inference.json when empty).
+func InferenceBench(outPath string) (*InferenceBenchResult, error) {
+	if outPath == "" {
+		outPath = "BENCH_inference.json"
+	}
+	cfg := model.OriginalSPPNet().Scaled(4).WithInput(4, 50)
+	net, err := cfg.Build(rand.New(rand.NewSource(7)))
+	if err != nil {
+		return nil, err
+	}
+	nn.PrepareInference(net)
+	res := &InferenceBenchResult{
+		Model:       cfg.Name + " /4 @50px",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		PoolWorkers: tensor.PoolWorkers(),
+	}
+
+	byKey := map[string]InferenceBenchRow{}
+	for _, batch := range []int{1, 16} {
+		x := tensor.New(batch, cfg.InBands, cfg.InSize, cfg.InSize)
+		rng := rand.New(rand.NewSource(int64(batch)))
+		for i := range x.Data() {
+			x.Data()[i] = rng.Float32()
+		}
+
+		fwd := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				model.Detect(net, x)
+			}
+		})
+		byKey[fmt.Sprintf("forward%d", batch)] = appendRow(res, "forward", batch, fwd)
+
+		arena := tensor.NewArena()
+		var dets []metrics.Detection
+		inf := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				arena.Reset()
+				dets = model.InferDetect(net, x, arena, dets)
+			}
+		})
+		byKey[fmt.Sprintf("infer%d", batch)] = appendRow(res, "infer", batch, inf)
+	}
+	res.SpeedupBatch1 = float64(byKey["forward1"].NsPerOp) / float64(byKey["infer1"].NsPerOp)
+	res.SpeedupBatch16 = float64(byKey["forward16"].NsPerOp) / float64(byKey["infer16"].NsPerOp)
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func appendRow(res *InferenceBenchResult, path string, batch int, r testing.BenchmarkResult) InferenceBenchRow {
+	row := InferenceBenchRow{
+		Path:       path,
+		Batch:      batch,
+		NsPerOp:    r.NsPerOp(),
+		NsPerImg:   float64(r.NsPerOp()) / float64(batch),
+		AllocsOp:   r.AllocsPerOp(),
+		BytesOp:    r.AllocedBytesPerOp(),
+		Iterations: r.N,
+	}
+	res.Rows = append(res.Rows, row)
+	return row
+}
+
+// Render writes the benchmark table.
+func (r *InferenceBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Inference fast path — %s (GOMAXPROCS=%d, pool workers=%d)\n",
+		r.Model, r.GOMAXPROCS, r.PoolWorkers)
+	fmt.Fprintf(&b, "%-8s %6s %14s %14s %12s %12s\n", "path", "batch", "ns/op", "ns/image", "allocs/op", "B/op")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %6d %14d %14.0f %12d %12d\n",
+			row.Path, row.Batch, row.NsPerOp, row.NsPerImg, row.AllocsOp, row.BytesOp)
+	}
+	fmt.Fprintf(&b, "speedup: %.2fx at batch 1, %.2fx at batch 16\n", r.SpeedupBatch1, r.SpeedupBatch16)
+	return b.String()
+}

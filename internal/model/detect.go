@@ -39,6 +39,17 @@ func DetectWithHook(net *nn.Sequential, x *tensor.Tensor, hook LayerHook) []metr
 	return decodeHead(out)
 }
 
+// InferDetect is the serving fast path: the network runs in inference
+// mode (no gradient caches, packed weights, fused epilogues) with all
+// temporaries drawn from the caller's arena, and the decoded detections
+// are appended to dst (reusing its backing array). The caller must Reset
+// the arena between batches; with a warm arena and cap(dst) ≥ batch size
+// the whole call performs zero heap allocations. Results are bit-for-bit
+// identical to Detect.
+func InferDetect(net *nn.Sequential, x *tensor.Tensor, a *tensor.Arena, dst []metrics.Detection) []metrics.Detection {
+	return decodeHeadInto(net.Infer(x, a), dst)
+}
+
 // LayerName names a module for telemetry: its concrete type without the
 // package qualifier (Conv2D, MaxPool2D, SPP, Linear, ...).
 func LayerName(m nn.Module) string {
@@ -46,17 +57,30 @@ func LayerName(m nn.Module) string {
 }
 
 func decodeHead(out *tensor.Tensor) []metrics.Detection {
+	return decodeHeadInto(out, make([]metrics.Detection, 0, out.Dim(0)))
+}
+
+func decodeHeadInto(out *tensor.Tensor, dst []metrics.Detection) []metrics.Detection {
 	n := out.Dim(0)
-	dets := make([]metrics.Detection, n)
+	if cap(dst) < n {
+		dst = make([]metrics.Detection, n)
+	}
+	dets := dst[:n]
+	// Index the head rows directly: At's variadic index list would heap-
+	// allocate on every call, and this loop is inside the zero-alloc
+	// serving guarantee.
+	stride := out.Dim(1)
+	data := out.Data()
 	for i := 0; i < n; i++ {
-		score := 1 / (1 + math.Exp(-float64(out.At(i, 0))))
+		row := data[i*stride : i*stride+5]
+		score := 1 / (1 + math.Exp(-float64(row[0])))
 		dets[i] = metrics.Detection{
 			Score: score,
 			Box: metrics.Box{
-				CX: clamp01(float64(out.At(i, 1))),
-				CY: clamp01(float64(out.At(i, 2))),
-				W:  clamp01(float64(out.At(i, 3))),
-				H:  clamp01(float64(out.At(i, 4))),
+				CX: clamp01(float64(row[1])),
+				CY: clamp01(float64(row[2])),
+				W:  clamp01(float64(row[3])),
+				H:  clamp01(float64(row[4])),
 			},
 		}
 	}

@@ -109,6 +109,10 @@ func (c Config) filters(f int) int {
 	return v
 }
 
+// ScaledWidth returns a nominal width (filter count or FC width) after
+// applying the config's width scale — the actual layer width Build uses.
+func (c Config) ScaledWidth(w int) int { return c.filters(w) }
+
 // SPPFeatures returns the flattened feature count after the SPP layer.
 func (c Config) SPPFeatures() int {
 	lastC := c.filters(c.Convs[len(c.Convs)-1].Filters)

@@ -151,3 +151,42 @@ func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	return gradIn
 }
+
+// cloneShared implements sharedCloner.
+func (r *ReLU) cloneShared() Module { return NewReLU() }
+
+// Infer implements Inferencer: elementwise clamp without the backward mask.
+func (r *ReLU) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	out := a.Get(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		} else {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// cloneShared implements sharedCloner.
+func (s *Sigmoid) cloneShared() Module { return NewSigmoid() }
+
+// Infer implements Inferencer.
+func (s *Sigmoid) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	out := a.Get(x.Shape()...)
+	od, xd := out.Data(), x.Data()
+	for i, v := range xd {
+		od[i] = sigmoid(v)
+	}
+	return out
+}
+
+// cloneShared implements sharedCloner: replicas are inference-only, so
+// the clone is permanently in eval mode and never touches the rng.
+func (d *Dropout) cloneShared() Module {
+	return &Dropout{P: d.P, Training: false, rng: d.rng}
+}
+
+// Infer implements Inferencer: dropout is the identity at inference.
+func (d *Dropout) Infer(x *tensor.Tensor, _ *tensor.Arena) *tensor.Tensor { return x }

@@ -158,3 +158,45 @@ func (bn *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	return gradIn
 }
+
+// cloneShared implements sharedCloner: gamma/beta and the running
+// statistics are shared; the clone is permanently in eval mode.
+func (bn *BatchNorm2D) cloneShared() Module {
+	return &BatchNorm2D{
+		C:           bn.C,
+		Eps:         bn.Eps,
+		Momentum:    bn.Momentum,
+		Training:    false,
+		Gamma:       bn.Gamma,
+		Beta:        bn.Beta,
+		RunningMean: bn.RunningMean,
+		RunningVar:  bn.RunningVar,
+	}
+}
+
+// Infer implements Inferencer: eval-mode normalization with the running
+// statistics, no backward caches.
+func (bn *BatchNorm2D) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	checkRank(x, 4, "BatchNorm2D.Infer")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D expects %d channels, got %d", bn.C, c))
+	}
+	out := a.Get(n, c, h, w)
+	plane := h * w
+	xd, od := x.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		mean := bn.RunningMean[ch]
+		inv := 1 / math.Sqrt(bn.RunningVar[ch]+bn.Eps)
+		g := float64(bn.Gamma.Value.Data()[ch])
+		b := float64(bn.Beta.Value.Data()[ch])
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				xhat := (float64(xd[base+j]) - mean) * inv
+				od[base+j] = float32(g*xhat + b)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"fmt"
+
+	"drainnet/internal/tensor"
+)
+
+// Inferencer is the inference-mode counterpart of Module.Forward. Infer
+// computes the same values as Forward-in-eval-mode but skips every piece
+// of backward bookkeeping (gradient caches, argmax maps, input
+// retention) and draws all temporaries from the caller's arena, so a
+// steady-state Infer pass performs no heap allocation. The returned
+// tensor is arena-owned and only valid until the arena's next Reset.
+//
+// Infer on a layer whose math is shared with Forward (conv, linear,
+// activations, pools) is bit-for-bit identical to the eval-mode Forward
+// result: the kernels accumulate in the same order.
+type Inferencer interface {
+	Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor
+}
+
+// fusedInferencer is implemented by layers whose epilogue can absorb a
+// following ReLU (conv and linear), letting Sequential.Infer skip the
+// separate activation pass over the output tensor.
+type fusedInferencer interface {
+	inferFused(x *tensor.Tensor, a *tensor.Arena, relu bool) *tensor.Tensor
+}
+
+// preparer is implemented by layers that pre-pack static state (packed
+// weight panels) once before serving.
+type preparer interface {
+	prepareInference()
+}
+
+// sharedCloner produces an inference replica of a layer that shares all
+// immutable state (weights, packed panels, running statistics) with the
+// receiver but owns its forward caches, so replicas can run concurrently.
+type sharedCloner interface {
+	cloneShared() Module
+}
+
+// Infer runs the chain in inference mode, fusing each Conv2D/Linear with
+// an immediately following ReLU into the producing layer's epilogue.
+// Modules that do not implement Inferencer fall back to Forward.
+func (s *Sequential) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	for i := 0; i < len(s.mods); i++ {
+		m := s.mods[i]
+		if f, ok := m.(fusedInferencer); ok {
+			if i+1 < len(s.mods) {
+				if _, isRelu := s.mods[i+1].(*ReLU); isRelu {
+					x = f.inferFused(x, a, true)
+					i++
+					continue
+				}
+			}
+			x = f.inferFused(x, a, false)
+			continue
+		}
+		if inf, ok := m.(Inferencer); ok {
+			x = inf.Infer(x, a)
+			continue
+		}
+		x = m.Forward(x)
+	}
+	return x
+}
+
+// PrepareInference packs every packable layer's static weights for the
+// fast path. Call once after the weights reach their serving values;
+// Infer also packs lazily on first use, so PrepareInference is an
+// optimization that moves the one-time cost to load time.
+func PrepareInference(m Module) {
+	if p, ok := m.(preparer); ok {
+		p.prepareInference()
+	}
+	if s, ok := m.(*Sequential); ok {
+		for _, child := range s.mods {
+			PrepareInference(child)
+		}
+	}
+}
+
+// CloneShared builds an inference replica of a module tree: immutable
+// state (weight tensors, packed panels, batch-norm running statistics)
+// is shared with the original, while per-call caches are fresh, so the
+// clone can run Infer concurrently with the original and with other
+// clones. Memory cost per replica is scratch-only, not a full copy of
+// the weights. Returns an error if the tree contains a module type that
+// does not support shared cloning.
+func CloneShared(m Module) (Module, error) {
+	if s, ok := m.(*Sequential); ok {
+		out := &Sequential{mods: make([]Module, len(s.mods))}
+		for i, child := range s.mods {
+			c, err := CloneShared(child)
+			if err != nil {
+				return nil, err
+			}
+			out.mods[i] = c
+		}
+		return out, nil
+	}
+	if sc, ok := m.(sharedCloner); ok {
+		return sc.cloneShared(), nil
+	}
+	return nil, fmt.Errorf("nn: %T does not support shared cloning", m)
+}

@@ -14,6 +14,10 @@ type Linear struct {
 	Bias    *Param // Out
 
 	input *tensor.Tensor
+
+	// inference fast path
+	packed *tensor.Packed
+	task   linearTask
 }
 
 // NewLinear creates a fully-connected layer with Xavier initialization.
@@ -95,4 +99,65 @@ func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Module.
 func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	return gradOut.Reshape(f.inShape...)
+}
+
+// prepareInference packs the weight matrix for the fast-path dot kernel.
+func (l *Linear) prepareInference() {
+	if l.packed == nil {
+		l.packed = tensor.PackMatrix(l.Weight.Value)
+	}
+}
+
+// cloneShared implements sharedCloner.
+func (l *Linear) cloneShared() Module {
+	return &Linear{In: l.In, Out: l.Out, Weight: l.Weight, Bias: l.Bias, packed: l.packed}
+}
+
+// Infer implements Inferencer.
+func (l *Linear) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return l.inferFused(x, a, false)
+}
+
+// inferFused computes y = x·Wᵀ + b with the packed dot kernel, the bias
+// and optional ReLU fused, parallel over (sample, weight panel).
+func (l *Linear) inferFused(x *tensor.Tensor, a *tensor.Arena, relu bool) *tensor.Tensor {
+	checkRank(x, 2, "Linear.Infer")
+	if x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear expects %d features, got %d", l.In, x.Dim(1)))
+	}
+	l.prepareInference()
+	n := x.Dim(0)
+	out := a.Get(n, l.Out)
+	t := &l.task
+	t.packed = l.packed
+	t.out, t.x = out.Data(), x.Data()
+	t.outW, t.inW, t.panels = l.Out, l.In, l.packed.Panels()
+	t.bias, t.relu = l.Bias.Value.Data(), relu
+	tensor.ParallelRange(n*t.panels, 1, t)
+	return out
+}
+
+// linearTask spreads per-sample dot-product panels across the pool.
+type linearTask struct {
+	packed            *tensor.Packed
+	out, x            []float32
+	outW, inW, panels int
+	bias              []float32
+	relu              bool
+}
+
+func (t *linearTask) RunRange(lo, hi int) {
+	for idx := lo; idx < hi; idx++ {
+		i := idx / t.panels
+		p := idx % t.panels
+		t.packed.DotPanelInto(t.out[i*t.outW:(i+1)*t.outW], t.x[i*t.inW:(i+1)*t.inW], p, t.bias, t.relu)
+	}
+}
+
+// cloneShared implements sharedCloner.
+func (f *Flatten) cloneShared() Module { return NewFlatten() }
+
+// Infer implements Inferencer: a reshaped arena view of the same data.
+func (f *Flatten) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	return a.View(x, x.Dim(0), -1)
 }

@@ -14,6 +14,8 @@ type MaxPool2D struct {
 
 	inShape []int
 	argmax  []int32 // flat input index chosen for each output element
+
+	task maxPoolTask // inference dispatch, reused across calls
 }
 
 // NewMaxPool2D creates a k×k max pool with the given stride and no padding.
@@ -104,6 +106,8 @@ type AdaptiveMaxPool2D struct {
 
 	inShape []int
 	argmax  []int32
+
+	task adaptivePoolTask // inference dispatch, reused across calls
 }
 
 // NewAdaptiveMaxPool2D creates an adaptive max pool with an out×out target.
@@ -183,4 +187,108 @@ func (p *AdaptiveMaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return gradIn
+}
+
+// cloneShared implements sharedCloner.
+func (p *MaxPool2D) cloneShared() Module { return &MaxPool2D{Geom: p.Geom} }
+
+// Infer implements Inferencer: max pooling without the argmax map.
+func (p *MaxPool2D) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	checkRank(x, 4, "MaxPool2D.Infer")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if err := p.Geom.Validate(h, w); err != nil {
+		panic(err)
+	}
+	oh, ow := p.Geom.OutSize(h, w)
+	out := a.Get(n, c, oh, ow)
+	t := &p.task
+	t.x, t.out = x.Data(), out.Data()
+	t.h, t.w, t.oh, t.ow = h, w, oh, ow
+	t.geom = p.Geom
+	tensor.ParallelRange(n*c, 1, t)
+	return out
+}
+
+// maxPoolTask computes max pooling for channel planes [lo,hi).
+type maxPoolTask struct {
+	x, out       []float32
+	h, w, oh, ow int
+	geom         tensor.ConvGeom
+}
+
+func (t *maxPoolTask) RunRange(lo, hi int) {
+	g := t.geom
+	for nc := lo; nc < hi; nc++ {
+		inBase := nc * t.h * t.w
+		outBase := nc * t.oh * t.ow
+		for oy := 0; oy < t.oh; oy++ {
+			for ox := 0; ox < t.ow; ox++ {
+				best := float32(math.Inf(-1))
+				for kh := 0; kh < g.KH; kh++ {
+					iy := oy*g.StrideH + kh
+					if iy >= t.h {
+						break
+					}
+					for kw := 0; kw < g.KW; kw++ {
+						ix := ox*g.StrideW + kw
+						if ix >= t.w {
+							break
+						}
+						if v := t.x[inBase+iy*t.w+ix]; v > best {
+							best = v
+						}
+					}
+				}
+				t.out[outBase+oy*t.ow+ox] = best
+			}
+		}
+	}
+}
+
+// cloneShared implements sharedCloner.
+func (p *AdaptiveMaxPool2D) cloneShared() Module {
+	return &AdaptiveMaxPool2D{OutH: p.OutH, OutW: p.OutW}
+}
+
+// Infer implements Inferencer: adaptive max pooling without the argmax map.
+func (p *AdaptiveMaxPool2D) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	checkRank(x, 4, "AdaptiveMaxPool2D.Infer")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h < 1 || w < 1 {
+		panic("nn: AdaptiveMaxPool2D empty input")
+	}
+	out := a.Get(n, c, p.OutH, p.OutW)
+	t := &p.task
+	t.x, t.out = x.Data(), out.Data()
+	t.h, t.w, t.oh, t.ow = h, w, p.OutH, p.OutW
+	tensor.ParallelRange(n*c, 1, t)
+	return out
+}
+
+// adaptivePoolTask computes adaptive pooling for channel planes [lo,hi).
+type adaptivePoolTask struct {
+	x, out       []float32
+	h, w, oh, ow int
+}
+
+func (t *adaptivePoolTask) RunRange(lo, hi int) {
+	for nc := lo; nc < hi; nc++ {
+		inBase := nc * t.h * t.w
+		outBase := nc * t.oh * t.ow
+		for oy := 0; oy < t.oh; oy++ {
+			y0, y1 := binBounds(oy, t.h, t.oh)
+			for ox := 0; ox < t.ow; ox++ {
+				x0, x1 := binBounds(ox, t.w, t.ow)
+				best := float32(math.Inf(-1))
+				for iy := y0; iy < y1; iy++ {
+					for ix := x0; ix < x1; ix++ {
+						if v := t.x[inBase+iy*t.w+ix]; v > best {
+							best = v
+						}
+					}
+				}
+				t.out[outBase+oy*t.ow+ox] = best
+			}
+		}
+	}
 }

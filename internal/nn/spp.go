@@ -94,3 +94,27 @@ func (s *SPP) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	return gradIn
 }
+
+// cloneShared implements sharedCloner.
+func (s *SPP) cloneShared() Module { return NewSPP(s.Levels...) }
+
+// Infer implements Inferencer: per-level adaptive pools into arena
+// scratch, concatenated into one arena output.
+func (s *SPP) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
+	checkRank(x, 4, "SPP.Infer")
+	n, c := x.Dim(0), x.Dim(1)
+	width := s.OutFeatures(c)
+	out := a.Get(n, width)
+	col := 0
+	for li, pool := range s.pools {
+		po := pool.Infer(x, a) // N×C×l×l
+		l := s.Levels[li]
+		feat := c * l * l
+		for i := 0; i < n; i++ {
+			copy(out.Data()[i*width+col:i*width+col+feat],
+				po.Data()[i*feat:(i+1)*feat])
+		}
+		col += feat
+	}
+	return out
+}

@@ -21,7 +21,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"time"
 
@@ -121,13 +120,26 @@ type Pool struct {
 
 	stats *statsAccum
 	tel   *telemetry.Telemetry
+	reps  []*replica
 
-	// detect runs one forward pass; tests may substitute a stub to make
-	// timing-sensitive behavior deterministic. detectTimed is the
+	// detect overrides the forward pass; tests substitute a stub to make
+	// timing-sensitive behavior deterministic. When nil (production), the
+	// zero-allocation inference fast path runs instead. detectTimed is the
 	// per-layer-timed variant used when a batch carries a trace-sampled
 	// request.
 	detect      func(net *nn.Sequential, x *tensor.Tensor) []metrics.Detection
 	detectTimed func(net *nn.Sequential, x *tensor.Tensor, hook model.LayerHook) []metrics.Detection
+}
+
+// replica is one serving copy of the network plus the scratch it owns:
+// an arena for all inference temporaries (including the stacked batch
+// tensor) and a reusable detection slice. Replicas share the immutable
+// weight tensors and packed panels with the source network — per-replica
+// memory is scratch only, not another copy of the model.
+type replica struct {
+	net   *nn.Sequential
+	arena *tensor.Arena
+	dets  []metrics.Detection
 }
 
 // New builds a pool of opts.Replicas copies of net (which must have been
@@ -136,14 +148,20 @@ type Pool struct {
 // caller must not run inference on net concurrently with pool use.
 func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 	opts = opts.withDefaults()
-	replicas := make([]*nn.Sequential, opts.Replicas)
-	replicas[0] = net
+	if err := validateConfig(cfg, net); err != nil {
+		return nil, fmt.Errorf("batcher: %w", err)
+	}
+	// Pack weights once on the source network; shared-weight clones reuse
+	// the packed panels, so replica memory is scratch-only.
+	nn.PrepareInference(net)
+	replicas := make([]*replica, opts.Replicas)
+	replicas[0] = &replica{net: net, arena: tensor.NewArena()}
 	for i := 1; i < opts.Replicas; i++ {
-		clone, err := cloneNetwork(cfg, net)
+		clone, err := nn.CloneShared(net)
 		if err != nil {
 			return nil, fmt.Errorf("batcher: replica %d: %w", i, err)
 		}
-		replicas[i] = clone
+		replicas[i] = &replica{net: clone.(*nn.Sequential), arena: tensor.NewArena()}
 	}
 	p := &Pool{
 		opts:           opts,
@@ -153,7 +171,7 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 		workersDone:    make(chan struct{}),
 		stats:          newStatsAccum(opts),
 		tel:            opts.Telemetry,
-		detect:         model.Detect,
+		reps:           replicas,
 		detectTimed:    model.DetectWithHook,
 	}
 	go p.dispatch()
@@ -161,26 +179,68 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 	return p, nil
 }
 
-// cloneNetwork builds a fresh network from cfg and copies net's parameter
-// values into it, so the clone computes the identical function but owns
-// its layer caches.
-func cloneNetwork(cfg model.Config, net *nn.Sequential) (*nn.Sequential, error) {
-	clone, err := cfg.Build(rand.New(rand.NewSource(0)))
-	if err != nil {
-		return nil, err
+// validateConfig walks the network's module sequence against the layer
+// sequence cfg.Build would produce, checking layer kinds, channel counts
+// and geometry, so a config/network mismatch is caught at pool
+// construction instead of panicking mid-inference.
+func validateConfig(cfg model.Config, net *nn.Sequential) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	src, dst := net.Params(), clone.Params()
-	if len(src) != len(dst) {
-		return nil, fmt.Errorf("network has %d parameters, config builds %d (config/network mismatch)", len(src), len(dst))
-	}
-	for i, sp := range src {
-		dp := dst[i]
-		if sp.Name != dp.Name || sp.Value.Len() != dp.Value.Len() {
-			return nil, fmt.Errorf("parameter %d mismatch: %s/%d vs %s/%d", i, sp.Name, sp.Value.Len(), dp.Name, dp.Value.Len())
+	mods := net.Modules()
+	idx := 0
+	next := func() nn.Module {
+		if idx >= len(mods) {
+			return nil
 		}
-		copy(dp.Value.Data(), sp.Value.Data())
+		m := mods[idx]
+		idx++
+		return m
 	}
-	return clone, nil
+	inC := cfg.InBands
+	for i, cv := range cfg.Convs {
+		f := cfg.ScaledWidth(cv.Filters)
+		conv, ok := next().(*nn.Conv2D)
+		if !ok || conv.InC != inC || conv.OutC != f ||
+			conv.Geom.KH != cv.Kernel || conv.Geom.StrideH != cv.Stride {
+			return fmt.Errorf("conv block %d does not match config (want C%d→%d,%d,%d)", i, inC, f, cv.Kernel, cv.Stride)
+		}
+		if _, ok := next().(*nn.ReLU); !ok {
+			return fmt.Errorf("conv block %d missing ReLU", i)
+		}
+		if cv.PoolSize > 0 {
+			pool, ok := next().(*nn.MaxPool2D)
+			if !ok || pool.Geom.KH != cv.PoolSize || pool.Geom.StrideH != cv.PoolStride {
+				return fmt.Errorf("conv block %d missing P%d,%d", i, cv.PoolSize, cv.PoolStride)
+			}
+		}
+		inC = f
+	}
+	spp, ok := next().(*nn.SPP)
+	if !ok || len(spp.Levels) != len(cfg.SPPLevels) {
+		return fmt.Errorf("SPP layer does not match config levels %v", cfg.SPPLevels)
+	}
+	for i, l := range cfg.SPPLevels {
+		if spp.Levels[i] != l {
+			return fmt.Errorf("SPP layer does not match config levels %v", cfg.SPPLevels)
+		}
+	}
+	fcw := cfg.ScaledWidth(cfg.FCWidth)
+	fc, ok := next().(*nn.Linear)
+	if !ok || fc.In != cfg.SPPFeatures() || fc.Out != fcw {
+		return fmt.Errorf("hidden FC does not match config (want %d→%d)", cfg.SPPFeatures(), fcw)
+	}
+	if _, ok := next().(*nn.ReLU); !ok {
+		return fmt.Errorf("hidden FC missing ReLU")
+	}
+	head, ok := next().(*nn.Linear)
+	if !ok || head.In != fcw || head.Out != cfg.HeadOut {
+		return fmt.Errorf("head does not match config (want %d→%d)", fcw, cfg.HeadOut)
+	}
+	if idx != len(mods) {
+		return fmt.Errorf("network has %d trailing modules beyond the config's architecture", len(mods)-idx)
+	}
+	return nil
 }
 
 // Options returns the pool's resolved configuration.
@@ -350,15 +410,15 @@ func (p *Pool) flushGroup(pending map[string][]*request, key string) {
 
 // runWorkers starts one goroutine per replica and closes workersDone when
 // the last one drains.
-func (p *Pool) runWorkers(replicas []*nn.Sequential) {
+func (p *Pool) runWorkers(replicas []*replica) {
 	done := make(chan struct{}, len(replicas))
-	for id, net := range replicas {
-		go func(id int, net *nn.Sequential) {
+	for id, rep := range replicas {
+		go func(id int, rep *replica) {
 			defer func() { done <- struct{}{} }()
 			for j := range p.work {
-				p.runBatch(id, net, j)
+				p.runBatch(id, rep, j)
 			}
-		}(id, net)
+		}(id, rep)
 	}
 	for range replicas {
 		<-done
@@ -366,13 +426,18 @@ func (p *Pool) runWorkers(replicas []*nn.Sequential) {
 	close(p.workersDone)
 }
 
-// runBatch stacks a job's clips into one N×C×H×W tensor, runs a single
-// forward pass on this worker's replica, and delivers per-request results.
-func (p *Pool) runBatch(id int, net *nn.Sequential, j *job) {
+// runBatch stacks a job's clips into one N×C×H×W tensor drawn from the
+// replica's arena, runs a single forward pass, and delivers per-request
+// results. In the fast path (no stub, no trace hook) the batch tensor,
+// every layer temporary and the decoded detections all come from
+// replica-owned storage, so a warm replica serves a batch with zero heap
+// allocations in the model forward.
+func (p *Pool) runBatch(id int, rep *replica, j *job) {
 	n := len(j.reqs)
 	first := j.reqs[0].x
 	c, h, w := first.Dim(1), first.Dim(2), first.Dim(3)
-	batch := tensor.New(n, c, h, w)
+	rep.arena.Reset()
+	batch := rep.arena.Get(n, c, h, w)
 	stride := c * h * w
 	for i, r := range j.reqs {
 		copy(batch.Data()[i*stride:(i+1)*stride], r.x.Data())
@@ -404,7 +469,7 @@ func (p *Pool) runBatch(id int, net *nn.Sequential, j *job) {
 	// Record stats and emit EvInferenceDone *before* delivering each
 	// result: once a waiter unblocks it may immediately read /v1/stats or
 	// emit EvResponseWritten, so both must already be ordered ahead.
-	dets, err := p.safeDetect(net, batch, hook)
+	dets, err := p.safeDetect(rep, batch, hook)
 	if err != nil {
 		now := time.Now()
 		for _, r := range j.reqs {
@@ -427,17 +492,24 @@ func (p *Pool) runBatch(id int, net *nn.Sequential, j *job) {
 
 // safeDetect converts a panicking forward pass (bad shapes reaching a
 // layer, etc.) into an error for this batch instead of killing the worker.
-// A non-nil hook selects the per-layer-timed path.
-func (p *Pool) safeDetect(net *nn.Sequential, x *tensor.Tensor, hook model.LayerHook) (dets []metrics.Detection, err error) {
+// A non-nil hook selects the per-layer-timed (training-graph) path; a
+// test stub in p.detect overrides both; otherwise the zero-alloc
+// inference fast path runs. All three paths produce bit-identical
+// detections for the same weights and input.
+func (p *Pool) safeDetect(rep *replica, x *tensor.Tensor, hook model.LayerHook) (dets []metrics.Detection, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("batcher: inference failed: %v", r)
 		}
 	}()
-	if hook != nil {
-		dets = p.detectTimed(net, x, hook)
-	} else {
-		dets = p.detect(net, x)
+	switch {
+	case hook != nil:
+		dets = p.detectTimed(rep.net, x, hook)
+	case p.detect != nil:
+		dets = p.detect(rep.net, x)
+	default:
+		rep.dets = model.InferDetect(rep.net, x, rep.arena, rep.dets)
+		dets = rep.dets
 	}
 	if len(dets) != x.Dim(0) {
 		return nil, fmt.Errorf("batcher: detector returned %d results for batch of %d", len(dets), x.Dim(0))

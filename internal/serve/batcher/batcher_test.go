@@ -371,3 +371,28 @@ func TestNewRejectsMismatchedConfig(t *testing.T) {
 		t.Fatal("mismatched config accepted; want clone error")
 	}
 }
+
+// Replicas must share weight tensors with the original network — the
+// clone is scratch-only, not a full copy — so N replicas cost N arenas,
+// not N weight sets.
+func TestReplicasShareWeightTensors(t *testing.T) {
+	p := newTestPool(t, Options{Replicas: 3, MaxBatch: 4, MaxWait: time.Millisecond, QueueSize: 16})
+	if len(p.reps) != 3 {
+		t.Fatalf("pool has %d replicas, want 3", len(p.reps))
+	}
+	base := p.reps[0].net.Params()
+	for r := 1; r < len(p.reps); r++ {
+		params := p.reps[r].net.Params()
+		if len(params) != len(base) {
+			t.Fatalf("replica %d has %d params, replica 0 has %d", r, len(params), len(base))
+		}
+		for i := range base {
+			if params[i].Value != base[i].Value {
+				t.Fatalf("replica %d param %q value tensor was copied, not shared", r, base[i].Name)
+			}
+		}
+		if p.reps[r].net == p.reps[0].net {
+			t.Fatalf("replica %d shares the module tree itself; caches would race", r)
+		}
+	}
+}

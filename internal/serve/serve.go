@@ -266,6 +266,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleMetrics exposes the telemetry registry: Prometheus text by
 // default, the JSON snapshot with ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.tel.RecordRuntime() // refresh Go heap/GC gauges at scrape time
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, s.tel.Registry().Snapshot())
 		return

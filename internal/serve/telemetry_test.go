@@ -334,3 +334,36 @@ func TestHTTPMetricsRecordErrorRoutes(t *testing.T) {
 	c := s.Telemetry().Registry().CounterVec("drainnet_http_requests_total", "", "route", "code").With("other", "404")
 	waitFor(t, func() bool { return c.Value() == 1 }, `http_requests{route="other",code="404"} = 1`)
 }
+
+// /v1/metrics must export Go runtime memory gauges, refreshed at scrape
+// time, so the zero-allocation serving claim is observable in production
+// (flat heap objects / GC runs under steady load).
+func TestMetricsEndpointRuntimeGauges(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	text, resp := scrape(t, ts.URL+"/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"# TYPE drainnet_go_heap_alloc_bytes gauge",
+		"drainnet_go_heap_alloc_bytes",
+		"drainnet_go_heap_sys_bytes",
+		"drainnet_go_heap_objects",
+		"drainnet_go_gc_pause_total_seconds",
+		"drainnet_go_gc_runs_total",
+		"drainnet_go_goroutines",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/v1/metrics missing runtime gauge %q:\n%s", want, text)
+		}
+	}
+	// The gauges are live values, not zero placeholders: a running
+	// process always has a nonzero heap.
+	reg := s.Telemetry().Registry()
+	if v := reg.Gauge("drainnet_go_heap_alloc_bytes", "").Value(); v <= 0 {
+		t.Fatalf("heap alloc gauge = %v, want > 0", v)
+	}
+}

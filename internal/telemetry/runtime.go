@@ -1,0 +1,20 @@
+package telemetry
+
+import "runtime"
+
+// RecordRuntime samples Go runtime memory statistics into the registry
+// as gauges: heap footprint, GC activity and goroutine count. It is
+// called at metrics-scrape time (not on the serving hot path —
+// runtime.ReadMemStats briefly stops the world), so the exported values
+// are as fresh as the scrape.
+func (t *Telemetry) RecordRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg := t.Registry()
+	reg.Gauge("drainnet_go_heap_alloc_bytes", "Bytes of allocated heap objects.").Set(float64(ms.HeapAlloc))
+	reg.Gauge("drainnet_go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.").Set(float64(ms.HeapSys))
+	reg.Gauge("drainnet_go_heap_objects", "Number of allocated heap objects.").Set(float64(ms.HeapObjects))
+	reg.Gauge("drainnet_go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.").Set(float64(ms.PauseTotalNs) / 1e9)
+	reg.Gauge("drainnet_go_gc_runs_total", "Completed GC cycles.").Set(float64(ms.NumGC))
+	reg.Gauge("drainnet_go_goroutines", "Current number of goroutines.").Set(float64(runtime.NumGoroutine()))
+}

@@ -51,8 +51,18 @@ func Im2ColInto(dst, img *Tensor, g ConvGeom) {
 	if dst.shape[0] != c*g.KH*g.KW || dst.shape[1] != oh*ow {
 		panic(fmt.Sprintf("tensor: Im2ColInto destination shape %v, want [%d %d]", dst.shape, c*g.KH*g.KW, oh*ow))
 	}
-	dd := dst.data
-	id := img.data
+	Im2ColSlice(dst.data, img.data, c, h, w, g)
+}
+
+// Im2ColSlice is the raw-slice core of Im2ColInto: it lowers one c×h×w
+// image stored in img into dst, which must have length
+// (c*KH*KW)·(OH*OW). Taking plain slices lets inference-mode callers
+// lower samples of a batch tensor without materializing per-sample
+// tensor headers.
+func Im2ColSlice(dst, img []float32, c, h, w int, g ConvGeom) {
+	oh, ow := g.OutSize(h, w)
+	dd := dst
+	id := img
 	ncols := oh * ow
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w

@@ -2,14 +2,13 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
 
-// blockM/blockN/blockK are the register/cache blocking factors of the
-// matrix multiply. Chosen so a block of B fits comfortably in L1 on
-// commodity x86 while keeping the inner loop vectorizable by the Go
-// compiler (contiguous float32 slices, no bounds-check in the hot loop).
+// blockK/rowsPerTask are the cache-blocking factors of the matrix
+// multiply. Chosen so a k-block of B fits comfortably in L1 on commodity
+// x86 while keeping the inner loop vectorizable by the Go compiler
+// (contiguous float32 slices, no bounds-check in the hot loop).
 const (
 	blockK      = 256
 	rowsPerTask = 32
@@ -17,7 +16,7 @@ const (
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
 // new m×n tensor. It parallelizes over row bands of A when the problem is
-// large enough to amortize goroutine dispatch.
+// large enough to amortize handing work to the shared pool.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
@@ -32,7 +31,22 @@ func MatMul(a, b *Tensor) *Tensor {
 	return c
 }
 
-// MatMulInto computes dst = A·B, overwriting dst. dst must be m×n.
+// matmulTask carries one MatMulInto through the shared worker pool. The
+// descriptors are pooled so steady-state calls allocate nothing.
+type matmulTask struct {
+	c, a, b []float32
+	k, n    int
+}
+
+func (t *matmulTask) RunRange(lo, hi int) {
+	matmulRange(t.c, t.a, t.b, lo, hi, t.k, t.n)
+}
+
+var matmulTasks = sync.Pool{New: func() interface{} { return new(matmulTask) }}
+
+// MatMulInto computes dst = A·B, overwriting dst. dst must be m×n. Row
+// bands are spread across the persistent worker pool; small problems run
+// inline to avoid dispatch overhead entirely.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
@@ -40,40 +54,15 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto destination shape %v, want [%d %d]", dst.shape, m, n))
 	}
 	dst.Zero()
-	// Small problems: avoid goroutine dispatch entirely.
 	if m*n*k < 64*64*64 {
 		matmulRange(dst.data, a.data, b.data, 0, m, k, n)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	tasks := (m + rowsPerTask - 1) / rowsPerTask
-	if tasks < workers {
-		workers = tasks
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				start := next
-				next += rowsPerTask
-				mu.Unlock()
-				if start >= m {
-					return
-				}
-				end := start + rowsPerTask
-				if end > m {
-					end = m
-				}
-				matmulRange(dst.data, a.data, b.data, start, end, k, n)
-			}
-		}()
-	}
-	wg.Wait()
+	t := matmulTasks.Get().(*matmulTask)
+	t.c, t.a, t.b, t.k, t.n = dst.data, a.data, b.data, k, n
+	ParallelRange(m, rowsPerTask, t)
+	t.c, t.a, t.b = nil, nil, nil
+	matmulTasks.Put(t)
 }
 
 // matmulRange computes rows [rowLo, rowHi) of C += A·B with k-blocking.
@@ -158,36 +147,3 @@ func dot(a, b []float32) float32 {
 	}
 	return s
 }
-
-// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS workers when n is
-// large enough, else serially.
-func parallelFor(n int, f func(i int)) {
-	if n <= 0 {
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if n < 4 || workers == 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				f(i)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-// ParallelFor exposes the engine's worker pool for callers that want to
-// parallelize per-sample work (e.g. batched convolution backward).
-func ParallelFor(n int, f func(i int)) { parallelFor(n, f) }

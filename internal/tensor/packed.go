@@ -1,0 +1,217 @@
+package tensor
+
+import "fmt"
+
+// panelRows is the register tile height of the packed micro-kernel:
+// four output rows are produced together so each loaded element of B
+// (or of the input vector) is reused four times from registers.
+const panelRows = 4
+
+// Packed is an immutable matrix laid out for the inference matmul
+// micro-kernel. Rows are grouped into panels of four; within a panel the
+// four rows are interleaved column-by-column, so the kernel's inner loop
+// loads the four weights it needs from one contiguous quad:
+//
+//	panels[p*4k + kk*4 + r] = A[4p+r][kk]
+//
+// Rows beyond the matrix (when rows % 4 != 0) are zero-filled. Weight
+// matrices are static per serving replica, so packing happens once at
+// model load and the panels are shared by every replica.
+type Packed struct {
+	rows, cols int
+	panels     []float32
+}
+
+// PackMatrix packs a rank-2 tensor (rows×cols) into panel layout.
+func PackMatrix(a *Tensor) *Packed {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: PackMatrix requires a rank-2 tensor, got shape %v", a.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	np := (m + panelRows - 1) / panelRows
+	p := &Packed{rows: m, cols: k, panels: make([]float32, np*panelRows*k)}
+	for r := 0; r < m; r++ {
+		base := (r / panelRows) * panelRows * k
+		lane := r % panelRows
+		row := a.data[r*k : (r+1)*k]
+		for kk, v := range row {
+			p.panels[base+kk*panelRows+lane] = v
+		}
+	}
+	return p
+}
+
+// Rows returns the logical row count (m).
+func (p *Packed) Rows() int { return p.rows }
+
+// Cols returns the logical column count (k).
+func (p *Packed) Cols() int { return p.cols }
+
+// Panels returns the number of 4-row panels.
+func (p *Packed) Panels() int { return (p.rows + panelRows - 1) / panelRows }
+
+// MulInto computes dst = P·b (+bias, ReLU) over all panels, spreading
+// panels across the shared worker pool. dst must be rows×n and b cols×n.
+// See MulPanelsInto for the epilogue semantics.
+func (p *Packed) MulInto(dst, b *Tensor, bias []float32, relu bool) {
+	if dst.shape[0] != p.rows || dst.shape[1] != b.shape[1] || b.shape[0] != p.cols {
+		panic(fmt.Sprintf("tensor: Packed.MulInto shapes dst%v b%v vs packed %dx%d",
+			dst.shape, b.shape, p.rows, p.cols))
+	}
+	t := packedMulTask{p: p, dst: dst.data, b: b.data, n: b.shape[1], bias: bias, relu: relu}
+	ParallelRange(p.Panels(), 1, &t)
+}
+
+type packedMulTask struct {
+	p      *Packed
+	dst, b []float32
+	n      int
+	bias   []float32
+	relu   bool
+}
+
+func (t *packedMulTask) RunRange(lo, hi int) {
+	t.p.MulPanelsInto(t.dst, t.b, t.n, t.bias, t.relu, lo, hi)
+}
+
+// MulPanelsInto computes output rows [4*p0, min(4*p1, rows)) of
+// dst = P·b, fully overwriting those rows of dst. dst is rows×n
+// row-major and b is cols×n row-major, both as raw slices. When bias is
+// non-nil, bias[row] is added to every element of that row after the
+// full k-accumulation; when relu is set, negatives are clamped to zero
+// after the bias. Per output element the k-terms accumulate in ascending
+// order — the same order as the reference MatMulInto kernel followed by
+// a bias add and a ReLU pass — so the fused result is bit-identical to
+// the unfused reference path.
+func (p *Packed) MulPanelsInto(dst, b []float32, n int, bias []float32, relu bool, p0, p1 int) {
+	k := p.cols
+	for pi := p0; pi < p1; pi++ {
+		r0 := pi * panelRows
+		rem := p.rows - r0
+		if rem > panelRows {
+			rem = panelRows
+		}
+		pan := p.panels[pi*panelRows*k : (pi+1)*panelRows*k]
+		switch rem {
+		case 4:
+			mulPanel4(dst[r0*n:(r0+4)*n], pan, b, n, k)
+		default:
+			mulPanelTail(dst[r0*n:(r0+rem)*n], pan, b, n, k, rem)
+		}
+		epilogue(dst[r0*n:(r0+rem)*n], bias, r0, n, rem, relu)
+	}
+}
+
+// mulPanel4 computes four full output rows: c[r][j] = Σ_kk pan[kk*4+r] * b[kk][j].
+// The four accumulation streams are independent, giving the compiler ILP
+// without the per-element zero-test the training kernel carries.
+func mulPanel4(c, pan, b []float32, n, k int) {
+	c0 := c[0:n:n]
+	c1 := c[n : 2*n : 2*n]
+	c2 := c[2*n : 3*n : 3*n]
+	c3 := c[3*n : 4*n : 4*n]
+	for i := range c0 {
+		c0[i] = 0
+	}
+	for i := range c1 {
+		c1[i] = 0
+	}
+	for i := range c2 {
+		c2[i] = 0
+	}
+	for i := range c3 {
+		c3[i] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		q := pan[kk*panelRows : kk*panelRows+4]
+		a0, a1, a2, a3 := q[0], q[1], q[2], q[3]
+		brow := b[kk*n : kk*n+n : kk*n+n]
+		for j, v := range brow {
+			c0[j] += a0 * v
+			c1[j] += a1 * v
+			c2[j] += a2 * v
+			c3[j] += a3 * v
+		}
+	}
+}
+
+// mulPanelTail handles the final partial panel (1–3 live rows).
+func mulPanelTail(c, pan, b []float32, n, k, rem int) {
+	for i := range c {
+		c[i] = 0
+	}
+	for r := 0; r < rem; r++ {
+		crow := c[r*n : (r+1)*n : (r+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := pan[kk*panelRows+r]
+			brow := b[kk*n : kk*n+n : kk*n+n]
+			for j, v := range brow {
+				crow[j] += av * v
+			}
+		}
+	}
+}
+
+// epilogue applies the fused bias add and ReLU clamp to rem rows
+// starting at logical row r0.
+func epilogue(c []float32, bias []float32, r0, n, rem int, relu bool) {
+	if bias == nil && !relu {
+		return
+	}
+	for r := 0; r < rem; r++ {
+		row := c[r*n : (r+1)*n]
+		var bv float32
+		if bias != nil {
+			bv = bias[r0+r]
+		}
+		if relu {
+			for j, v := range row {
+				v += bv
+				if v > 0 {
+					row[j] = v
+				} else {
+					row[j] = 0
+				}
+			}
+		} else if bias != nil {
+			for j := range row {
+				row[j] += bv
+			}
+		}
+	}
+}
+
+// DotPanelInto computes four outputs of y = P·x (+bias, ReLU) for one
+// input vector: outputs [4*pi, min(4*pi+4, rows)) are written into dst
+// (length rows), reading x (length cols). This is the transposed-weight
+// orientation used by fully-connected layers, where each sample's output
+// is a set of dot products against static weight rows. Accumulation over
+// k is ascending, matching the reference MatMulTransB kernel bit-for-bit.
+func (p *Packed) DotPanelInto(dst, x []float32, pi int, bias []float32, relu bool) {
+	k := p.cols
+	pan := p.panels[pi*panelRows*k : (pi+1)*panelRows*k]
+	var a0, a1, a2, a3 float32
+	for kk, v := range x[:k] {
+		q := pan[kk*panelRows : kk*panelRows+4]
+		a0 += q[0] * v
+		a1 += q[1] * v
+		a2 += q[2] * v
+		a3 += q[3] * v
+	}
+	r0 := pi * panelRows
+	rem := p.rows - r0
+	if rem > panelRows {
+		rem = panelRows
+	}
+	acc := [panelRows]float32{a0, a1, a2, a3}
+	for r := 0; r < rem; r++ {
+		v := acc[r]
+		if bias != nil {
+			v += bias[r0+r]
+		}
+		if relu && !(v > 0) {
+			v = 0
+		}
+		dst[r0+r] = v
+	}
+}
