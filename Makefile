@@ -3,17 +3,17 @@
 GO ?= go
 
 .PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
-        test-race-fastpath check-allocs bench bench-serve bench-telemetry \
-        bench-inference test-short bench-fast experiments experiments-train \
-        examples renders clean
+        test-race-fastpath test-race-ios check-allocs bench bench-serve \
+        bench-telemetry bench-inference bench-ios test-short bench-fast \
+        experiments experiments-train examples renders clean
 
 all: build vet test
 
 # The gate for every change: build, vet, full tests, race-checked passes
 # over the concurrent paths (batcher + HTTP layer + telemetry + the
-# inference fast path's shared worker pool), and the zero-allocation
-# regression guard on the serving forward pass.
-check: build vet test test-race-serve test-race-telemetry test-race-fastpath check-allocs
+# inference fast path's shared worker pool + the IOS stage executor),
+# and the zero-allocation regression guards on both serving forwards.
+check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios check-allocs
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
@@ -27,10 +27,17 @@ test-race-telemetry:
 test-race-fastpath:
 	$(GO) test -race -run 'Infer|Parallel|Packed|Arena|Pool' ./internal/tensor/ ./internal/nn/ ./internal/model/
 
-# Alloc-regression guard: the steady-state serving forward must report
-# exactly 0 allocs per run (testing.AllocsPerRun inside the test).
+# Concurrent stage executor under the race detector with real pool
+# workers: group fan-out, the RunInline pricing mode, and the scheduled
+# serving path.
+test-race-ios:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestScheduleExecutor|TestRunInline|TestMeasuredOracle|Scheduled' ./internal/tensor/ ./internal/nn/ ./internal/ios/ ./internal/model/
+
+# Alloc-regression guard: both steady-state serving forwards (the
+# sequential fast path and the scheduled IOS executor) must report
+# exactly 0 allocs per run (testing.AllocsPerRun inside the tests).
 check-allocs:
-	$(GO) test -run TestInferSteadyStateZeroAlloc -v ./internal/model/
+	$(GO) test -run 'TestInferSteadyStateZeroAlloc|TestScheduledSteadyStateZeroAlloc' -v ./internal/model/
 
 build:
 	$(GO) build ./...
@@ -56,9 +63,20 @@ bench-fast:
 	$(GO) test -short -bench=. -benchmem -benchtime=1x .
 
 # CPU inference fast path vs the training-graph forward, batch 1 and 16.
-# Emits BENCH_inference.json for the cross-PR perf trajectory.
+# The worker pool sizes itself once per process, so each GOMAXPROCS
+# setting runs in its own invocation; the rows merge into
+# BENCH_inference.json keyed by gomaxprocs.
 bench-inference:
-	$(GO) run ./cmd/drainnet-bench -exp inference
+	GOMAXPROCS=1 $(GO) run ./cmd/drainnet-bench -exp inference
+	GOMAXPROCS=4 $(GO) run ./cmd/drainnet-bench -exp inference
+
+# Profile-guided IOS scheduling on the real inference path: measured
+# cost oracle -> optimized stage schedule -> concurrent executor vs the
+# sequential fast path, single- and multi-core rows merged into
+# BENCH_ios.json with a bitwise-determinism check per run.
+bench-ios:
+	GOMAXPROCS=1 $(GO) run ./cmd/drainnet-bench -exp ios
+	GOMAXPROCS=4 $(GO) run ./cmd/drainnet-bench -exp ios
 
 # Serving throughput: single-mutex path vs batched multi-replica pool.
 bench-serve:

@@ -281,6 +281,27 @@ func OptimizeSchedule(g *Graph, dev Device, batch int) (*Schedule, error) {
 	return ios.Optimize(g, ios.NewSimOracle(dev), batch)
 }
 
+// SchedulePlan holds measured-cost-optimal IOS schedules for serving
+// one model on this machine (batch-1 and max-batch regimes).
+type SchedulePlan = model.SchedulePlan
+
+// CostCache memoizes wall-clock operator measurements across processes.
+type CostCache = ios.CostCache
+
+// LoadCostCache reads a saved operator cost cache (empty when missing).
+func LoadCostCache(path string) (*CostCache, error) { return ios.LoadCostCache(path) }
+
+// OptimizeSchedules benchmarks net's operators on this machine and runs
+// the IOS dynamic program against the measured costs, yielding the plan
+// the serving pool executes when Options.Plan is set.
+func OptimizeSchedules(cfg ModelConfig, net *Network, maxBatch int, cache *CostCache) (*SchedulePlan, error) {
+	return model.OptimizeSchedules(cfg, net, maxBatch, cache)
+}
+
+// ScheduleExecutor runs a network under an IOS schedule on the shared
+// worker pool, bit-for-bit identical to the sequential fast path.
+type ScheduleExecutor = nn.ScheduleExecutor
+
 // LatencyResult summarizes one measured inference.
 type LatencyResult = ios.RunResult
 

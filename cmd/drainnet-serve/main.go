@@ -24,6 +24,7 @@
 //	drainnet-serve -ckpt model.ckpt            # load a saved checkpoint
 //	drainnet-serve -replicas 4 -max-batch 32 -max-wait 2ms -queue 256
 //	drainnet-serve -trace-sample 100 -trace-dir traces/ -pprof
+//	drainnet-serve -ios -ios-cache costs.json   # IOS-scheduled replicas
 package main
 
 import (
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"drainnet/internal/experiments"
+	"drainnet/internal/ios"
 	"drainnet/internal/model"
 	"drainnet/internal/serve"
 	"drainnet/internal/telemetry"
@@ -58,6 +60,8 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "export every N-th request as a Chrome trace (0 = off)")
 	traceDir := flag.String("trace-dir", "", "also write sampled traces to this directory (req-<id>.trace.json)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
+	iosOn := flag.Bool("ios", false, "serve with IOS-scheduled inference: benchmark this machine's operators and run the measured-cost-optimal stage schedule on every replica")
+	iosCache := flag.String("ios-cache", "", "operator cost-cache file for -ios (loaded if present, saved after measuring; startups with a warm cache skip re-measurement)")
 	flag.Parse()
 
 	dc := experiments.TinyData()
@@ -101,6 +105,28 @@ func main() {
 		tel = telemetry.NewDisabled()
 	}
 
+	var plan *model.SchedulePlan
+	if *iosOn {
+		cache := ios.NewCostCache()
+		if *iosCache != "" {
+			if cache, err = ios.LoadCostCache(*iosCache); err != nil {
+				log.Fatal(err)
+			}
+		}
+		before := cache.Len()
+		plan, err = model.OptimizeSchedules(cfg, net, *maxBatch, cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *iosCache != "" && plan.Cache.Len() != before {
+			if err := plan.Cache.Save(*iosCache); err != nil {
+				log.Printf("level=warn msg=\"cost cache not saved\" err=%v", err)
+			}
+		}
+		fmt.Printf("level=info msg=ios_plan batch1_stages=%d batchN_stages=%d measured_ops=%d cache=%q\n",
+			len(plan.Batch1.Stages), len(plan.BatchN.Stages), plan.Cache.Len(), *iosCache)
+	}
+
 	srv, err := serve.NewWithOptions(cfg, net, *threshold, serve.Options{
 		Replicas:       *replicas,
 		MaxBatch:       *maxBatch,
@@ -109,6 +135,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Telemetry:      tel,
 		EnablePprof:    *pprofOn,
+		Plan:           plan,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -116,9 +143,9 @@ func main() {
 	popts := srv.Pool().Options()
 	// One structured line with the full resolved configuration, so a log
 	// scraper (or a human) sees every serving knob in one place.
-	fmt.Printf("level=info msg=serving model=%q addr=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t\n",
+	fmt.Printf("level=info msg=serving model=%q addr=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t\n",
 		cfg.Name, *addr, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
-		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn)
+		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -17,32 +18,40 @@ import (
 
 // InferenceBenchRow is one (path, batch) measurement.
 type InferenceBenchRow struct {
-	Path      string  `json:"path"`  // "forward" (training graph) or "infer" (fast path)
-	Batch     int     `json:"batch"` // clips per forward pass
-	NsPerOp   int64   `json:"ns_per_op"`
-	NsPerImg  float64 `json:"ns_per_image"`
-	AllocsOp  int64   `json:"allocs_per_op"`
-	BytesOp   int64   `json:"bytes_per_op"`
-	Iterations int    `json:"iterations"`
+	Path       string  `json:"path"`  // "forward" (training graph) or "infer" (fast path)
+	Batch      int     `json:"batch"` // clips per forward pass
+	NsPerOp    int64   `json:"ns_per_op"`
+	NsPerImg   float64 `json:"ns_per_image"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+	BytesOp    int64   `json:"bytes_per_op"`
+	Iterations int     `json:"iterations"`
+}
+
+// InferenceBenchRun is the benchmark at one GOMAXPROCS setting. The
+// worker pool sizes itself once per process, so each run comes from a
+// separate process invocation (see `make bench-inference`).
+type InferenceBenchRun struct {
+	GOMAXPROCS     int                 `json:"gomaxprocs"`
+	PoolWorkers    int                 `json:"pool_workers"`
+	Rows           []InferenceBenchRow `json:"rows"`
+	SpeedupBatch1  float64             `json:"speedup_batch1"`
+	SpeedupBatch16 float64             `json:"speedup_batch16"`
 }
 
 // InferenceBenchResult records the CPU inference fast-path benchmark:
 // the training-graph Forward (the pre-fast-path serving path) against
 // the packed/fused/arena Infer path at batch 1 and batch 16, plus the
-// resulting speedups. It is written to BENCH_inference.json so later
-// PRs have a perf trajectory to compare against.
+// resulting speedups — one run per GOMAXPROCS setting, merged across
+// invocations. It is written to BENCH_inference.json so later PRs have
+// a perf trajectory to compare against.
 type InferenceBenchResult struct {
-	Model          string  `json:"model"`
-	GOMAXPROCS     int     `json:"gomaxprocs"`
-	PoolWorkers    int     `json:"pool_workers"`
-	Rows           []InferenceBenchRow `json:"rows"`
-	SpeedupBatch1  float64 `json:"speedup_batch1"`
-	SpeedupBatch16 float64 `json:"speedup_batch16"`
+	Model string              `json:"model"`
+	Runs  []InferenceBenchRun `json:"runs"`
 }
 
 // InferenceBench benchmarks both forward paths on a width-scaled
-// Original SPP-Net and writes the result to outPath (defaults to
-// BENCH_inference.json when empty).
+// Original SPP-Net and merges the result for the current GOMAXPROCS
+// into outPath (defaults to BENCH_inference.json when empty).
 func InferenceBench(outPath string) (*InferenceBenchResult, error) {
 	if outPath == "" {
 		outPath = "BENCH_inference.json"
@@ -53,8 +62,7 @@ func InferenceBench(outPath string) (*InferenceBenchResult, error) {
 		return nil, err
 	}
 	nn.PrepareInference(net)
-	res := &InferenceBenchResult{
-		Model:       cfg.Name + " /4 @50px",
+	run := InferenceBenchRun{
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		PoolWorkers: tensor.PoolWorkers(),
 	}
@@ -73,7 +81,7 @@ func InferenceBench(outPath string) (*InferenceBenchResult, error) {
 				model.Detect(net, x)
 			}
 		})
-		byKey[fmt.Sprintf("forward%d", batch)] = appendRow(res, "forward", batch, fwd)
+		byKey[fmt.Sprintf("forward%d", batch)] = appendRow(&run, "forward", batch, fwd)
 
 		arena := tensor.NewArena()
 		var dets []metrics.Detection
@@ -84,22 +92,54 @@ func InferenceBench(outPath string) (*InferenceBenchResult, error) {
 				dets = model.InferDetect(net, x, arena, dets)
 			}
 		})
-		byKey[fmt.Sprintf("infer%d", batch)] = appendRow(res, "infer", batch, inf)
+		byKey[fmt.Sprintf("infer%d", batch)] = appendRow(&run, "infer", batch, inf)
 	}
-	res.SpeedupBatch1 = float64(byKey["forward1"].NsPerOp) / float64(byKey["infer1"].NsPerOp)
-	res.SpeedupBatch16 = float64(byKey["forward16"].NsPerOp) / float64(byKey["infer16"].NsPerOp)
+	run.SpeedupBatch1 = float64(byKey["forward1"].NsPerOp) / float64(byKey["infer1"].NsPerOp)
+	run.SpeedupBatch16 = float64(byKey["forward16"].NsPerOp) / float64(byKey["infer16"].NsPerOp)
 
-	buf, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+	res := &InferenceBenchResult{}
+	loadBenchFile(outPath, res)
+	res.Model = cfg.Name + " /4 @50px"
+	res.Runs = mergeRunByProcs(res.Runs, run)
+	if err := writeBenchFile(outPath, res); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-func appendRow(res *InferenceBenchResult, path string, batch int, r testing.BenchmarkResult) InferenceBenchRow {
+// loadBenchFile fills v from path when it exists and parses; a missing
+// or incompatible file just means starting fresh.
+func loadBenchFile(path string, v any) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	_ = json.Unmarshal(buf, v)
+}
+
+func writeBenchFile(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// mergeRunByProcs replaces the run with the same GOMAXPROCS (each
+// invocation re-measures its own setting) and keeps runs sorted.
+func mergeRunByProcs(runs []InferenceBenchRun, run InferenceBenchRun) []InferenceBenchRun {
+	out := runs[:0]
+	for _, r := range runs {
+		if r.GOMAXPROCS != run.GOMAXPROCS {
+			out = append(out, r)
+		}
+	}
+	out = append(out, run)
+	sort.Slice(out, func(i, j int) bool { return out[i].GOMAXPROCS < out[j].GOMAXPROCS })
+	return out
+}
+
+func appendRow(run *InferenceBenchRun, path string, batch int, r testing.BenchmarkResult) InferenceBenchRow {
 	row := InferenceBenchRow{
 		Path:       path,
 		Batch:      batch,
@@ -109,20 +149,22 @@ func appendRow(res *InferenceBenchResult, path string, batch int, r testing.Benc
 		BytesOp:    r.AllocedBytesPerOp(),
 		Iterations: r.N,
 	}
-	res.Rows = append(res.Rows, row)
+	run.Rows = append(run.Rows, row)
 	return row
 }
 
-// Render writes the benchmark table.
+// Render writes the benchmark table, one block per GOMAXPROCS run.
 func (r *InferenceBenchResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Inference fast path — %s (GOMAXPROCS=%d, pool workers=%d)\n",
-		r.Model, r.GOMAXPROCS, r.PoolWorkers)
-	fmt.Fprintf(&b, "%-8s %6s %14s %14s %12s %12s\n", "path", "batch", "ns/op", "ns/image", "allocs/op", "B/op")
-	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-8s %6d %14d %14.0f %12d %12d\n",
-			row.Path, row.Batch, row.NsPerOp, row.NsPerImg, row.AllocsOp, row.BytesOp)
+	fmt.Fprintf(&b, "Inference fast path — %s\n", r.Model)
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "GOMAXPROCS=%d, pool workers=%d\n", run.GOMAXPROCS, run.PoolWorkers)
+		fmt.Fprintf(&b, "%-8s %6s %14s %14s %12s %12s\n", "path", "batch", "ns/op", "ns/image", "allocs/op", "B/op")
+		for _, row := range run.Rows {
+			fmt.Fprintf(&b, "%-8s %6d %14d %14.0f %12d %12d\n",
+				row.Path, row.Batch, row.NsPerOp, row.NsPerImg, row.AllocsOp, row.BytesOp)
+		}
+		fmt.Fprintf(&b, "speedup: %.2fx at batch 1, %.2fx at batch 16\n", run.SpeedupBatch1, run.SpeedupBatch16)
 	}
-	fmt.Fprintf(&b, "speedup: %.2fx at batch 1, %.2fx at batch 16\n", r.SpeedupBatch1, r.SpeedupBatch16)
 	return b.String()
 }

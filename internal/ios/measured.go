@@ -1,0 +1,273 @@
+package ios
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"drainnet/internal/graph"
+	"drainnet/internal/tensor"
+)
+
+// OpRunner executes one operator of the concrete model so the measured
+// oracle can time it. BindOp prepares node n at a batch size (synthetic
+// inputs, kernel selection); each subsequent RunOp executes the bound
+// operator once. nn.GraphProgram is the real implementation.
+type OpRunner interface {
+	BindOp(n *graph.Node, batch int) error
+	RunOp()
+}
+
+// MeasuredOracle prices stages from wall-clock timings of the concrete
+// model's kernels on the local machine, replacing the simulated GPU with
+// the hardware that will actually serve. Each operator is benchmarked in
+// the two regimes the ScheduleExecutor runs it in:
+//
+//   - solo: the operator owns the worker pool (single-group stage) and
+//     keeps its intra-operator parallelism;
+//   - inline: the operator runs inside one group of a concurrent stage,
+//     where nested parallel regions degrade to serial execution
+//     (reproduced via tensor.RunInline).
+//
+// A single-group stage then costs the sum of its solo times; a
+// multi-group stage costs the LPT makespan of its groups' inline chain
+// times over the available lanes, plus a fixed fork/join overhead.
+// Timings are warmup + trimmed-mean and memoized in a CostCache keyed by
+// operator signature, batch, regime and GOMAXPROCS, so a serve process
+// that loads a saved cache never re-measures.
+type MeasuredOracle struct {
+	Runner OpRunner
+	// Workers is the number of concurrent group lanes a stage can use:
+	// the pool workers plus the calling goroutine.
+	Workers int
+	// StageSyncNs is the fixed fork/join overhead charged per multi-group
+	// stage (the ParallelRange submit + completion handshake).
+	StageSyncNs float64
+	// Warmup and Samples control each measurement: Warmup discarded runs,
+	// then Samples timed runs whose trimmed mean is the cost.
+	Warmup  int
+	Samples int
+	// MinSampleNs stretches one timed sample to at least this long by
+	// repeating the operator, so sub-microsecond kernels are measured
+	// above clock granularity.
+	MinSampleNs float64
+
+	cache *CostCache
+	err   error
+}
+
+// NewMeasuredOracle builds an oracle over r, memoizing into cache (a
+// fresh cache is created when nil).
+func NewMeasuredOracle(r OpRunner, cache *CostCache) *MeasuredOracle {
+	if cache == nil {
+		cache = NewCostCache()
+	}
+	return &MeasuredOracle{
+		Runner:      r,
+		Workers:     tensor.PoolWorkers() + 1,
+		StageSyncNs: 5e3,
+		Warmup:      2,
+		Samples:     10,
+		MinSampleNs: 2e5,
+		cache:       cache,
+	}
+}
+
+// Cache returns the oracle's cost cache (for saving after optimization).
+func (o *MeasuredOracle) Cache() *CostCache { return o.cache }
+
+// Err returns the first operator-binding error encountered, if any.
+// StageCost cannot report errors through the CostOracle interface, so a
+// failed bind is priced pessimistically and recorded here; callers should
+// check Err after Optimize.
+func (o *MeasuredOracle) Err() error { return o.err }
+
+// StageCost implements the shared gpu.CostOracle interface.
+func (o *MeasuredOracle) StageCost(groups []Group, batch int) float64 {
+	if len(groups) == 1 {
+		total := 0.0
+		for _, n := range groups[0] {
+			total += o.opCost(n, batch, false)
+		}
+		return total
+	}
+	chains := make([]float64, len(groups))
+	for gi, g := range groups {
+		for _, n := range g {
+			chains[gi] += o.opCost(n, batch, true)
+		}
+	}
+	return lptMakespan(chains, o.Workers) + o.StageSyncNs
+}
+
+// opCost returns the trimmed-mean nanoseconds of one execution of node n
+// at the batch size, in the inline or solo regime, measuring on a cache
+// miss.
+func (o *MeasuredOracle) opCost(n *graph.Node, batch int, inline bool) float64 {
+	key := costKey(n, batch, inline)
+	if c, ok := o.cache.Entries[key]; ok {
+		return c
+	}
+	if err := o.Runner.BindOp(n, batch); err != nil {
+		if o.err == nil {
+			o.err = err
+		}
+		// Pessimistic but finite, so the DP still terminates.
+		return 1e12
+	}
+	c := o.measure(inline)
+	o.cache.Entries[key] = c
+	return c
+}
+
+// measure times the bound operator: warmup, then Samples trimmed-mean
+// runs, each stretched to MinSampleNs by repetition.
+func (o *MeasuredOracle) measure(inline bool) float64 {
+	run := func(reps int) float64 {
+		body := func() {
+			for i := 0; i < reps; i++ {
+				o.Runner.RunOp()
+			}
+		}
+		start := time.Now()
+		if inline {
+			tensor.RunInline(body)
+		} else {
+			body()
+		}
+		return float64(time.Since(start)) / float64(reps)
+	}
+	for i := 0; i < o.Warmup; i++ {
+		run(1)
+	}
+	// Calibrate repetitions so one sample exceeds the clock floor.
+	reps := 1
+	if probe := run(1); probe*float64(reps) < o.MinSampleNs {
+		if probe <= 0 {
+			probe = 1
+		}
+		reps = int(o.MinSampleNs/probe) + 1
+	}
+	samples := make([]float64, o.Samples)
+	for i := range samples {
+		samples[i] = run(reps)
+	}
+	return trimmedMean(samples)
+}
+
+// trimmedMean drops the top and bottom quarter of the sorted samples and
+// averages the rest, rejecting scheduler-noise outliers in both tails.
+func trimmedMean(s []float64) float64 {
+	sort.Float64s(s)
+	trim := len(s) / 4
+	kept := s[trim : len(s)-trim]
+	total := 0.0
+	for _, v := range kept {
+		total += v
+	}
+	return total / float64(len(kept))
+}
+
+// lptMakespan schedules the given chain durations onto lanes by longest
+// processing time first — the same greedy order a work-stealing pool
+// approximates — and returns the finishing time of the busiest lane.
+func lptMakespan(chains []float64, lanes int) float64 {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > len(chains) {
+		lanes = len(chains)
+	}
+	sorted := append([]float64(nil), chains...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	loads := make([]float64, lanes)
+	for _, d := range sorted {
+		min := 0
+		for i := 1; i < lanes; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += d
+	}
+	max := loads[0]
+	for _, l := range loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// costKey identifies one measurement: what the operator computes (kind,
+// input/output shapes, work and weight volume — not its name, so
+// identical ops share one entry), the batch size, the execution regime,
+// and GOMAXPROCS (pool shape changes both regimes' timings).
+func costKey(n *graph.Node, batch int, inline bool) string {
+	regime := "solo"
+	if inline {
+		regime = "inline"
+	}
+	ins := ""
+	for _, in := range n.Inputs {
+		ins += fmt.Sprintf("%v", in.OutShape)
+	}
+	return fmt.Sprintf("p%d|b%d|%s|%s|ins=%s|out=%v|f=%d|w=%d",
+		runtime.GOMAXPROCS(0), batch, regime, n.Kind, ins, n.OutShape,
+		n.FLOPsPerSample, n.WeightBytes)
+}
+
+// CostCache is a serializable memo of operator measurements. Keys embed
+// GOMAXPROCS, so one file is valid across pool configurations; a cache
+// loaded on a machine with different timings simply prices schedules
+// from the recorded numbers (use a per-host cache file for fidelity).
+type CostCache struct {
+	// Version guards the key format; a mismatched file loads as empty.
+	Version int                `json:"version"`
+	Entries map[string]float64 `json:"entries"`
+}
+
+// costCacheVersion bumps when the key format or measurement protocol
+// changes incompatibly.
+const costCacheVersion = 1
+
+// NewCostCache returns an empty cache.
+func NewCostCache() *CostCache {
+	return &CostCache{Version: costCacheVersion, Entries: make(map[string]float64)}
+}
+
+// Len reports the number of memoized measurements.
+func (c *CostCache) Len() int { return len(c.Entries) }
+
+// Save writes the cache as JSON.
+func (c *CostCache) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCostCache reads a cache written by Save. A missing file or a
+// version mismatch yields an empty cache and no error, so callers can
+// unconditionally load-measure-save.
+func LoadCostCache(path string) (*CostCache, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return NewCostCache(), nil
+		}
+		return nil, err
+	}
+	var c CostCache
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("ios: cost cache %s: %w", path, err)
+	}
+	if c.Version != costCacheVersion || c.Entries == nil {
+		return NewCostCache(), nil
+	}
+	return &c, nil
+}

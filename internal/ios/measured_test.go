@@ -1,0 +1,169 @@
+package ios
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"drainnet/internal/graph"
+)
+
+// fakeRunner is an OpRunner whose operators burn a fixed, node-dependent
+// amount of time, so oracle arithmetic is checkable.
+type fakeRunner struct {
+	delay time.Duration
+	binds int
+	runs  int
+}
+
+func (f *fakeRunner) BindOp(n *graph.Node, batch int) error {
+	f.binds++
+	return nil
+}
+
+func (f *fakeRunner) RunOp() {
+	f.runs++
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+}
+
+func branchyGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.NewGraph("m", 3, 16, 16)
+	x := g.Conv(g.In, "conv", 4, 3, 1)
+	a := g.AdaptivePool(x, "a", 2)
+	b := g.AdaptivePool(x, "b", 1)
+	cat := g.Concat([]*graph.Node{a, b}, "cat")
+	g.FC(cat, "fc", 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fastOracle(r OpRunner, cache *CostCache) *MeasuredOracle {
+	o := NewMeasuredOracle(r, cache)
+	o.Warmup, o.Samples, o.MinSampleNs = 0, 4, 0
+	return o
+}
+
+func TestMeasuredOracleCachesMeasurements(t *testing.T) {
+	g := branchyGraph(t)
+	r := &fakeRunner{}
+	o := fastOracle(r, nil)
+	groups := [][]*graph.Node{{g.Nodes[1]}} // the conv node, single group
+	first := o.StageCost(groups, 2)
+	runsAfterFirst := r.runs
+	second := o.StageCost(groups, 2)
+	if first != second {
+		t.Fatalf("cached cost changed: %g != %g", first, second)
+	}
+	if r.runs != runsAfterFirst {
+		t.Fatalf("second StageCost re-measured (%d extra runs)", r.runs-runsAfterFirst)
+	}
+	// A different batch size is a different measurement.
+	o.StageCost(groups, 4)
+	if r.runs == runsAfterFirst {
+		t.Fatal("batch change did not trigger a new measurement")
+	}
+}
+
+func TestMeasuredOracleSingleVsMultiGroupRegimes(t *testing.T) {
+	g := branchyGraph(t)
+	r := &fakeRunner{}
+	o := fastOracle(r, nil)
+	a, b := g.Nodes[2], g.Nodes[3]
+	single := o.StageCost([][]*graph.Node{{a}}, 1)
+	o.StageCost([][]*graph.Node{{a}, {b}}, 1)
+	// Same node priced in both regimes must create two cache entries
+	// (solo and inline) plus one for b.
+	if got := o.Cache().Len(); got != 3 {
+		t.Fatalf("expected 3 cache entries (a-solo, a-inline, b-inline), got %d", got)
+	}
+	if single <= 0 {
+		t.Fatalf("non-positive single-group cost %g", single)
+	}
+}
+
+func TestMeasuredOracleOptimizeEndToEnd(t *testing.T) {
+	g := branchyGraph(t)
+	o := fastOracle(&fakeRunner{}, nil)
+	sched, err := Optimize(g, o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPTMakespan(t *testing.T) {
+	cases := []struct {
+		chains []float64
+		lanes  int
+		want   float64
+	}{
+		{[]float64{5, 3, 2}, 1, 10},       // one lane: serial sum
+		{[]float64{5, 3, 2}, 2, 5},        // LPT: {5} | {3,2}
+		{[]float64{5, 3, 2}, 3, 5},        // one chain per lane
+		{[]float64{4, 4, 4, 4}, 8, 4},     // lanes capped at chain count
+		{[]float64{6, 5, 4, 3, 2}, 2, 11}, // LPT: {6,3,2}=11 | {5,4}=9 (greedy, not optimal 10)
+	}
+	for i, c := range cases {
+		got := lptMakespan(c.chains, c.lanes)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("case %d: lptMakespan(%v, %d) = %g, want %g", i, c.chains, c.lanes, got, c.want)
+		}
+	}
+}
+
+func TestCostCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "costs.json")
+	c := NewCostCache()
+	c.Entries["p1|b2|solo|conv|..."] = 123.5
+	c.Entries["p1|b2|inline|conv|..."] = 456.25
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCostCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Entries["p1|b2|solo|conv|..."] != 123.5 {
+		t.Fatalf("round trip lost data: %+v", got.Entries)
+	}
+	// Missing file loads empty without error.
+	empty, err := LoadCostCache(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("missing file: cache=%v err=%v", empty, err)
+	}
+	// Version mismatch loads empty.
+	c.Version = 999
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := LoadCostCache(path)
+	if err != nil || stale.Len() != 0 {
+		t.Fatalf("stale version should load empty, got %d entries err=%v", stale.Len(), err)
+	}
+}
+
+func TestMeasuredOracleWarmCacheSkipsMeasurement(t *testing.T) {
+	g := branchyGraph(t)
+	r1 := &fakeRunner{}
+	o1 := fastOracle(r1, nil)
+	groups := [][]*graph.Node{{g.Nodes[2]}, {g.Nodes[3]}}
+	o1.StageCost(groups, 1)
+	// Second oracle over the saved cache must not touch its runner.
+	r2 := &fakeRunner{}
+	o2 := fastOracle(r2, o1.Cache())
+	o2.StageCost(groups, 1)
+	if r2.binds != 0 || r2.runs != 0 {
+		t.Fatalf("warm cache still measured: binds=%d runs=%d", r2.binds, r2.runs)
+	}
+}

@@ -16,10 +16,10 @@ import (
 const MaxDPBlockSize = 16
 
 // CostOracle prices one stage (a set of concurrent groups) at a batch
-// size, in nanoseconds of end-to-end CPU time.
-type CostOracle interface {
-	StageCost(groups []Group, batch int) float64
-}
+// size, in nanoseconds of end-to-end time. It is an alias of the shared
+// gpu.CostOracle interface; both the simulated oracle below and the
+// wall-clock MeasuredOracle implement it.
+type CostOracle = gpu.CostOracle
 
 // SimOracle prices stages by replaying them on a scratch GPU simulator.
 // Results are memoized: the DP re-prices identical group sets many times.
@@ -42,11 +42,7 @@ func (o *SimOracle) StageCost(groups []Group, batch int) float64 {
 	sim := gpu.NewSim(o.Dev)
 	sim.LoadLibrary()
 	start := sim.NowNs()
-	gg := make([][]*graph.Node, len(groups))
-	for i, g := range groups {
-		gg[i] = g
-	}
-	sim.RunStage(gg, batch)
+	sim.RunStage(groups, batch)
 	cost := sim.NowNs() - start
 	o.cache[key] = cost
 	return cost

@@ -13,8 +13,11 @@ import (
 	"drainnet/internal/graph"
 )
 
-// Group is a chain of operators executed sequentially in one stream.
-type Group []*graph.Node
+// Group is a chain of operators executed sequentially in one stream. It
+// is an alias (not a defined type) so that []Group is exactly the
+// [][]*graph.Node the shared gpu.CostOracle interface prices — the DP
+// hands stages to either oracle without conversion.
+type Group = []*graph.Node
 
 // Stage is a set of groups executed concurrently, synchronized at the end.
 type Stage struct {

@@ -62,6 +62,13 @@ type Options struct {
 	// Stats; no span pipeline runs). Pools sharing one Telemetry share
 	// its registry metrics.
 	Telemetry *telemetry.Telemetry
+	// Plan enables IOS-scheduled inference: each replica compiles the
+	// plan's measured-cost-optimal schedules against its own network
+	// clone and serves batches stage by stage (concurrent operator
+	// groups) instead of layer by layer. Nil serves with the plain
+	// sequential fast path. The plan must have been optimized for the
+	// same config and a compatible MaxBatch (model.OptimizeSchedules).
+	Plan *model.SchedulePlan
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +147,18 @@ type replica struct {
 	net   *nn.Sequential
 	arena *tensor.Arena
 	dets  []metrics.Detection
+	// exec1/execN are the replica's compiled IOS executors (nil without a
+	// plan): exec1 serves single-clip batches, execN everything larger.
+	exec1 *nn.ScheduleExecutor
+	execN *nn.ScheduleExecutor
+}
+
+// exec picks the executor for a batch of n clips (nil when unscheduled).
+func (rep *replica) exec(n int) *nn.ScheduleExecutor {
+	if n == 1 {
+		return rep.exec1
+	}
+	return rep.execN
 }
 
 // New builds a pool of opts.Replicas copies of net (which must have been
@@ -162,6 +181,15 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 			return nil, fmt.Errorf("batcher: replica %d: %w", i, err)
 		}
 		replicas[i] = &replica{net: clone.(*nn.Sequential), arena: tensor.NewArena()}
+	}
+	if opts.Plan != nil {
+		for i, rep := range replicas {
+			exec1, execN, err := opts.Plan.CompileExecutors(rep.net)
+			if err != nil {
+				return nil, fmt.Errorf("batcher: replica %d schedule: %w", i, err)
+			}
+			rep.exec1, rep.execN = exec1, execN
+		}
 	}
 	p := &Pool{
 		opts:           opts,
@@ -444,9 +472,11 @@ func (p *Pool) runBatch(id int, rep *replica, j *job) {
 	}
 
 	// Emit dispatch events and, when the batch carries a trace-sampled
-	// request, run the per-layer-timed forward pass so the sampled
-	// span's Chrome trace shows the layer breakdown.
+	// request, run the timed forward-pass variant so the sampled span's
+	// Chrome trace shows the breakdown: per-layer slices on the plain
+	// path, per-stage-group slices on the scheduled (IOS) path.
 	var hook model.LayerHook
+	var stageHook nn.StageHook
 	if p.tel.Enabled() {
 		start := time.Now()
 		var sampled []uint64
@@ -457,10 +487,20 @@ func (p *Pool) runBatch(id int, rep *replica, j *job) {
 			}
 		}
 		if len(sampled) > 0 {
-			hook = func(layer int, name string, d time.Duration) {
-				for _, rid := range sampled {
-					p.tel.Emit(telemetry.Event{Kind: telemetry.EvLayerForward,
-						Req: rid, Layer: layer, Name: name, Dur: d, Replica: id})
+			if rep.exec(n) != nil {
+				stageHook = func(stage, group, groups int, label string, at time.Time, d time.Duration) {
+					for _, rid := range sampled {
+						p.tel.Emit(telemetry.Event{Kind: telemetry.EvStageRun,
+							Req: rid, At: at, Dur: d, Replica: id,
+							Stage: stage, Group: group, Groups: groups, Name: label})
+					}
+				}
+			} else {
+				hook = func(layer int, name string, d time.Duration) {
+					for _, rid := range sampled {
+						p.tel.Emit(telemetry.Event{Kind: telemetry.EvLayerForward,
+							Req: rid, Layer: layer, Name: name, Dur: d, Replica: id})
+					}
 				}
 			}
 		}
@@ -469,7 +509,7 @@ func (p *Pool) runBatch(id int, rep *replica, j *job) {
 	// Record stats and emit EvInferenceDone *before* delivering each
 	// result: once a waiter unblocks it may immediately read /v1/stats or
 	// emit EvResponseWritten, so both must already be ordered ahead.
-	dets, err := p.safeDetect(rep, batch, hook)
+	dets, err := p.safeDetect(rep, batch, hook, stageHook)
 	if err != nil {
 		now := time.Now()
 		for _, r := range j.reqs {
@@ -492,21 +532,28 @@ func (p *Pool) runBatch(id int, rep *replica, j *job) {
 
 // safeDetect converts a panicking forward pass (bad shapes reaching a
 // layer, etc.) into an error for this batch instead of killing the worker.
-// A non-nil hook selects the per-layer-timed (training-graph) path; a
-// test stub in p.detect overrides both; otherwise the zero-alloc
-// inference fast path runs. All three paths produce bit-identical
-// detections for the same weights and input.
-func (p *Pool) safeDetect(rep *replica, x *tensor.Tensor, hook model.LayerHook) (dets []metrics.Detection, err error) {
+// A non-nil stageHook selects the stage-timed scheduled path and a
+// non-nil hook the per-layer-timed (training-graph) path; a test stub in
+// p.detect overrides both; otherwise the replica's IOS executor runs
+// when configured, else the plain zero-alloc inference fast path. All
+// paths produce bit-identical detections for the same weights and input.
+func (p *Pool) safeDetect(rep *replica, x *tensor.Tensor, hook model.LayerHook, stageHook nn.StageHook) (dets []metrics.Detection, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("batcher: inference failed: %v", r)
 		}
 	}()
 	switch {
+	case stageHook != nil:
+		rep.dets = model.InferDetectScheduledHook(rep.exec(x.Dim(0)), x, rep.arena, rep.dets, stageHook)
+		dets = rep.dets
 	case hook != nil:
 		dets = p.detectTimed(rep.net, x, hook)
 	case p.detect != nil:
 		dets = p.detect(rep.net, x)
+	case rep.exec1 != nil:
+		rep.dets = model.InferDetectScheduled(rep.exec(x.Dim(0)), x, rep.arena, rep.dets)
+		dets = rep.dets
 	default:
 		rep.dets = model.InferDetect(rep.net, x, rep.arena, rep.dets)
 		dets = rep.dets

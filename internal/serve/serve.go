@@ -105,6 +105,9 @@ type Options struct {
 	Telemetry *telemetry.Telemetry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Plan enables IOS-scheduled inference on every replica (see
+	// batcher.Options.Plan); nil serves with the sequential fast path.
+	Plan *model.SchedulePlan
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +156,7 @@ func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opt
 		MaxWait:   opts.MaxWait,
 		QueueSize: opts.QueueSize,
 		Telemetry: tel,
+		Plan:      opts.Plan,
 	})
 	if err != nil {
 		tel.Close()

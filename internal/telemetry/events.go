@@ -25,6 +25,10 @@ const (
 	EvInferenceDone
 	// EvResponseWritten: the HTTP response was written.
 	EvResponseWritten
+	// EvStageRun: one group of one IOS schedule stage ran during a
+	// sampled scheduled forward pass (the scheduled-path analogue of
+	// EvLayerForward).
+	EvStageRun
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +48,8 @@ func (k EventKind) String() string {
 		return "inference_done"
 	case EvResponseWritten:
 		return "response_written"
+	case EvStageRun:
+		return "stage_run"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -66,8 +72,14 @@ type Event struct {
 	Batch int
 	// Layer is the layer index within the network (EvLayerForward).
 	Layer int
-	// Name is the layer name (EvLayerForward).
+	// Name is the layer name (EvLayerForward) or the group's operator
+	// chain label (EvStageRun).
 	Name string
+	// Stage, Group and Groups locate one group run within an IOS
+	// schedule: stage index, group index, and the stage's group count
+	// (EvStageRun only). At is the group's start time and Dur its
+	// duration.
+	Stage, Group, Groups int
 }
 
 // ctxKey carries a request ID through a context.

@@ -9,6 +9,20 @@ type LayerTiming struct {
 	Dur   time.Duration
 }
 
+// StageTiming is one executed group of a sampled scheduled forward pass
+// (IOS serving path): which stage and group ran, how many groups the
+// stage had, the group's operator-chain label, and its wall-clock
+// window. Groups of one stage overlap in time — that overlap is the
+// inter-operator concurrency the schedule bought.
+type StageTiming struct {
+	Stage  int
+	Group  int
+	Groups int
+	Label  string
+	Start  time.Time
+	Dur    time.Duration
+}
+
 // Span is the assembled timeline of one request: the event timestamps
 // stitched together by the pipeline consumer. Zero times mark phases
 // the request never reached (e.g. a rejected request never dispatches).
@@ -25,6 +39,7 @@ type Span struct {
 	Replica   int
 	BatchSize int
 	Layers    []LayerTiming
+	Stages    []StageTiming
 
 	// http marks spans opened by the HTTP layer, which finalize on
 	// EvResponseWritten rather than EvInferenceDone.
@@ -69,6 +84,11 @@ func (t *Telemetry) handle(pending map[uint64]*Span, order []uint64, e Event) []
 		}
 	case EvLayerForward:
 		s.Layers = append(s.Layers, LayerTiming{Index: e.Layer, Name: e.Name, Dur: e.Dur})
+	case EvStageRun:
+		s.Stages = append(s.Stages, StageTiming{
+			Stage: e.Stage, Group: e.Group, Groups: e.Groups,
+			Label: e.Name, Start: e.At, Dur: e.Dur,
+		})
 	case EvInferenceDone:
 		s.Done = e.At
 		// Direct pool users have no HTTP layer to close the span.
@@ -96,6 +116,9 @@ func (t *Telemetry) finalize(pending map[uint64]*Span, s *Span) {
 	observe(t.batchAssembly, s.BatchFormed, s.Dispatched)
 	observe(t.inference, s.Dispatched, s.Done)
 	observe(t.serialization, s.Done, s.Responded)
+	for _, st := range s.Stages {
+		t.stageRun.Observe(st.Dur.Seconds())
+	}
 	if s.Done.IsZero() {
 		t.spansIncomplete.Inc()
 		return

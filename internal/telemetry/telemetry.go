@@ -98,6 +98,7 @@ type Telemetry struct {
 	batchAssembly   *Histogram
 	inference       *Histogram
 	serialization   *Histogram
+	stageRun        *Histogram
 
 	lastTrace struct {
 		mu   sync.Mutex
@@ -144,6 +145,8 @@ func newCore(opts Options) *Telemetry {
 		"Replica forward-pass time, dispatch to result delivery.", TimeBuckets)
 	t.serialization = t.reg.Histogram("drainnet_serialization_seconds",
 		"Time between result delivery and the HTTP response being written.", TimeBuckets)
+	t.stageRun = t.reg.Histogram("drainnet_stage_run_seconds",
+		"Per-group stage execution time in scheduled (IOS) forward passes.", TimeBuckets)
 	return t
 }
 

@@ -90,6 +90,17 @@ func chromeEvents(s *Span) []gpu.Event {
 		add(l.Name, "layer", 1+s.Replica, cur, next)
 		cur = next
 	}
+	// Scheduled (IOS) forward passes report per-group stage runs with
+	// real start times instead of sequential layers. Group 0 of each
+	// stage nests under the replica's inference slice; groups 1..G-1 get
+	// their own lanes above it, so concurrent groups render side by side
+	// and the stage's concurrency is visible. A sampled span traces one
+	// replica, so the lane offsets cannot collide with another replica's
+	// track within the same trace.
+	for _, st := range s.Stages {
+		add(fmt.Sprintf("s%d/g%d %s", st.Stage, st.Group, st.Label),
+			"stage", 1+s.Replica+st.Group, st.Start, st.Start.Add(st.Dur))
+	}
 	return out
 }
 
