@@ -33,11 +33,12 @@ test-race-fastpath:
 test-race-ios:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestScheduleExecutor|TestRunInline|TestMeasuredOracle|Scheduled' ./internal/tensor/ ./internal/nn/ ./internal/ios/ ./internal/model/
 
-# Alloc-regression guard: both steady-state serving forwards (the
-# sequential fast path and the scheduled IOS executor) must report
-# exactly 0 allocs per run (testing.AllocsPerRun inside the tests).
+# Alloc-regression guard: every steady-state serving forward (the
+# sequential fast path, the scheduled IOS executor and the quantized
+# int8 path) must report exactly 0 allocs per run
+# (testing.AllocsPerRun inside the tests).
 check-allocs:
-	$(GO) test -run 'TestInferSteadyStateZeroAlloc|TestScheduledSteadyStateZeroAlloc' -v ./internal/model/
+	$(GO) test -run 'TestInferSteadyStateZeroAlloc|TestScheduledSteadyStateZeroAlloc|TestQuantInferSteadyStateZeroAlloc' -v ./internal/model/
 
 build:
 	$(GO) build ./...

@@ -339,6 +339,39 @@ func OptimizeMultiGPU(g *Graph, cfg MultiGPUConfig, batch int) (*MultiSchedule, 
 	return ios.OptimizeMultiGPU(g, cfg, batch)
 }
 
+// ---- Quantized inference (accuracy-gated int8) ----
+
+// Precision names a serving precision: PrecisionFP32, PrecisionInt8, or
+// PrecisionAuto (try int8, fall back to fp32 on a gate failure).
+type Precision = model.Precision
+
+// Serving precisions accepted by ParsePrecision and ServeOptions.
+const (
+	PrecisionFP32 = model.PrecisionFP32
+	PrecisionInt8 = model.PrecisionInt8
+	PrecisionAuto = model.PrecisionAuto
+)
+
+// ParsePrecision parses "fp32", "int8" or "auto".
+func ParsePrecision(s string) (Precision, error) { return model.ParsePrecision(s) }
+
+// QuantOptions configures the quantization accuracy gate: the epsilon on
+// the AP drop and the calibration pass.
+type QuantOptions = model.QuantOptions
+
+// QuantDecision is the gate's verdict: the quantized network, both
+// precisions' AP on the held-out split, and whether int8 cleared the
+// epsilon (the paper's a(n) > A constraint applied to quantization).
+type QuantDecision = model.QuantDecision
+
+// QuantizeGated calibrates net on the dataset, quantizes it to int8
+// (per-channel weights, affine activations, per-layer fp32 fallback for
+// unsupported modules), and scores both precisions; Enabled reports
+// whether the AP drop stayed within opts.MaxAPDrop.
+func QuantizeGated(net *Network, ds *Dataset, opts QuantOptions) (*QuantDecision, error) {
+	return model.QuantizeGated(net, ds, opts)
+}
+
 // ---- Serving (versioned /v1 HTTP API, batched multi-replica pool) ----
 
 // ReplicaPool coalesces single-clip requests into batches and runs them

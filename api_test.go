@@ -231,3 +231,46 @@ func TestPublicServingAPI(t *testing.T) {
 		t.Fatal("nil handler")
 	}
 }
+
+func TestPublicQuantAPI(t *testing.T) {
+	if _, err := ParsePrecision("int8"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := BuildModel(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	ds := &Dataset{ClipSize: 40}
+	for i := 0; i < 16; i++ {
+		img := NewTensor(4, 40, 40)
+		for j := range img.Data() {
+			img.Data()[j] = rng.Float32()
+		}
+		s := Sample{Image: img}
+		if i%2 == 0 {
+			s.Target = DetectionTarget{HasObject: true, CX: 0.5, CY: 0.5, W: 0.2, H: 0.2}
+		}
+		ds.Samples = append(ds.Samples, s)
+	}
+	dec, err := QuantizeGated(net, ds, QuantOptions{MaxAPDrop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Enabled || dec.Net == nil {
+		t.Fatalf("gate with epsilon 1 should enable int8: %+v", dec)
+	}
+	// A quantized network serves through the same pool API.
+	pool, err := NewReplicaPool(cfg, dec.Net, PoolOptions{Replicas: 1, MaxBatch: 2, Precision: PrecisionInt8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Submit(context.Background(), NewTensor(1, 4, 40, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().Precision; got != string(PrecisionInt8) {
+		t.Fatalf("pool precision = %q, want int8", got)
+	}
+}

@@ -25,6 +25,13 @@
 //	drainnet-serve -replicas 4 -max-batch 32 -max-wait 2ms -queue 256
 //	drainnet-serve -trace-sample 100 -trace-dir traces/ -pprof
 //	drainnet-serve -ios -ios-cache costs.json   # IOS-scheduled replicas
+//	drainnet-serve -precision int8 -quant-max-ap-drop 0.01   # accuracy-gated int8
+//
+// -precision int8 quantizes the detector (per-channel int8 weights,
+// affine int8 activations) and refuses to start unless the held-out AP
+// drop stays within -quant-max-ap-drop; -precision auto falls back to
+// fp32 instead of refusing. /v1/model reports the precision actually
+// served.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -44,6 +52,7 @@ import (
 	"drainnet/internal/model"
 	"drainnet/internal/serve"
 	"drainnet/internal/telemetry"
+	"drainnet/internal/terrain"
 	"drainnet/internal/train"
 )
 
@@ -62,7 +71,14 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
 	iosOn := flag.Bool("ios", false, "serve with IOS-scheduled inference: benchmark this machine's operators and run the measured-cost-optimal stage schedule on every replica")
 	iosCache := flag.String("ios-cache", "", "operator cost-cache file for -ios (loaded if present, saved after measuring; startups with a warm cache skip re-measurement)")
+	precisionFlag := flag.String("precision", "fp32", "serving precision: fp32, int8 (refuse to start if the accuracy gate fails) or auto (fall back to fp32)")
+	quantMaxDrop := flag.Float64("quant-max-ap-drop", 0.01, "accuracy gate epsilon: largest tolerated AP drop (fp32 AP − int8 AP) on the held-out split before int8 is refused")
 	flag.Parse()
+
+	precision, err := model.ParsePrecision(*precisionFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	dc := experiments.TinyData()
 	cfg := model.SPPNet2().Scaled(dc.WidthScale).WithInput(4, dc.ClipSize)
@@ -70,6 +86,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// calibDS is the held-out split the quantization accuracy gate scores
+	// both precisions on; the training path reuses its test split.
+	var calibDS *terrain.Dataset
 	if *ckpt != "" {
 		if err := train.LoadFile(*ckpt, net); err != nil {
 			log.Fatal(err)
@@ -81,6 +100,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		calibDS = testDS
 		opt := train.PaperOptions()
 		opt.Epochs = dc.Epochs
 		opt.BatchSize = dc.BatchSize
@@ -92,6 +112,35 @@ func main() {
 		}
 		ev := train.Evaluate(net, testDS, dc.IoUThreshold)
 		fmt.Printf("trained: AP@%.1f = %.1f%%\n", dc.IoUThreshold, ev.AP*100)
+	}
+
+	// Quantize before schedule optimization, so the IOS oracle prices the
+	// operators that will actually serve (int8 ops carry their own
+	// cost-cache keys).
+	served := model.PrecisionFP32
+	if precision != model.PrecisionFP32 {
+		if calibDS == nil {
+			if _, calibDS, err = experiments.BuildData(dc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		dec, err := model.QuantizeGated(net, calibDS, model.QuantOptions{MaxAPDrop: *quantMaxDrop})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("level=info msg=quant_gate requested=%s quantized_layers=%d fallback_layers=%d fp32_ap=%.4f int8_ap=%.4f ap_drop=%.4f epsilon=%.4f enabled=%t\n",
+			precision, dec.Report.Quantized, dec.Report.Fallback,
+			dec.FP32AP, dec.Int8AP, dec.Drop, dec.Epsilon, dec.Enabled)
+		switch {
+		case dec.Enabled:
+			net = dec.Net
+			served = model.PrecisionInt8
+		case precision == model.PrecisionInt8:
+			log.Fatalf("int8 requested but the accuracy gate failed (AP drop %.4f > epsilon %.4f); raise -quant-max-ap-drop or use -precision auto to fall back",
+				dec.Drop, dec.Epsilon)
+		default:
+			fmt.Println(`level=info msg=quant_fallback reason="accuracy gate failed" serving=fp32`)
+		}
 	}
 
 	var tel *telemetry.Telemetry
@@ -123,8 +172,12 @@ func main() {
 				log.Printf("level=warn msg=\"cost cache not saved\" err=%v", err)
 			}
 		}
+		// The chosen schedules, one line each and greppable against the
+		// bench harness output (same Compact rendering).
 		fmt.Printf("level=info msg=ios_plan batch1_stages=%d batchN_stages=%d measured_ops=%d cache=%q\n",
 			len(plan.Batch1.Stages), len(plan.BatchN.Stages), plan.Cache.Len(), *iosCache)
+		fmt.Printf("level=info msg=schedule batch=1 plan=%q\n", plan.Batch1.Compact())
+		fmt.Printf("level=info msg=schedule batch=%d plan=%q\n", *maxBatch, plan.BatchN.Compact())
 	}
 
 	srv, err := serve.NewWithOptions(cfg, net, *threshold, serve.Options{
@@ -136,6 +189,7 @@ func main() {
 		Telemetry:      tel,
 		EnablePprof:    *pprofOn,
 		Plan:           plan,
+		Precision:      served,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -143,8 +197,8 @@ func main() {
 	popts := srv.Pool().Options()
 	// One structured line with the full resolved configuration, so a log
 	// scraper (or a human) sees every serving knob in one place.
-	fmt.Printf("level=info msg=serving model=%q addr=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t\n",
-		cfg.Name, *addr, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
+	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t\n",
+		cfg.Name, *addr, runtime.GOMAXPROCS(0), served, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
 		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -21,6 +21,16 @@ type OpRunner interface {
 	RunOp()
 }
 
+// OpTagger is optionally implemented by an OpRunner whose operators run
+// in more than one numeric precision. The tag joins the cost-cache key,
+// so e.g. an int8-quantized conv is priced independently of its fp32
+// sibling with the same shapes. An empty tag means the default (fp32)
+// precision and leaves the key unchanged — warm caches recorded before
+// tagging existed stay valid.
+type OpTagger interface {
+	OpTag(n *graph.Node) string
+}
+
 // MeasuredOracle prices stages from wall-clock timings of the concrete
 // model's kernels on the local machine, replacing the simulated GPU with
 // the hardware that will actually serve. Each operator is benchmarked in
@@ -108,6 +118,11 @@ func (o *MeasuredOracle) StageCost(groups []Group, batch int) float64 {
 // miss.
 func (o *MeasuredOracle) opCost(n *graph.Node, batch int, inline bool) float64 {
 	key := costKey(n, batch, inline)
+	if t, ok := o.Runner.(OpTagger); ok {
+		if tag := t.OpTag(n); tag != "" {
+			key += "|prec=" + tag
+		}
+	}
 	if c, ok := o.cache.Entries[key]; ok {
 		return c
 	}

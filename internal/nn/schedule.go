@@ -32,6 +32,8 @@ const (
 	execLinear
 	execConcat
 	execReLU
+	execQuantConv
+	execQuantLinear
 )
 
 // compiledOp binds one graph node to the concrete layer that executes
@@ -42,11 +44,13 @@ type compiledOp struct {
 	node *graph.Node
 	kind execKind
 
-	conv *Conv2D
-	pool *MaxPool2D
-	adap *AdaptiveMaxPool2D
-	lin  *Linear
-	act  *ReLU
+	conv  *Conv2D
+	pool  *MaxPool2D
+	adap  *AdaptiveMaxPool2D
+	lin   *Linear
+	act   *ReLU
+	qconv *QuantConv2D
+	qlin  *QuantLinear
 	// relu marks a ReLU fused into the conv/linear epilogue (the graph
 	// folds activations into their producing kernel; the Sequential keeps
 	// them as separate modules).
@@ -128,7 +132,9 @@ func CompileGraph(seq *Sequential, g *graph.Graph) (*GraphProgram, error) {
 		case graph.OpInput:
 			continue
 		case graph.OpConv:
-			conv, ok := next().(*Conv2D)
+			m := next()
+			qconv, _ := m.(*QuantConv2D)
+			conv, ok := Unwrap(m).(*Conv2D)
 			if !ok {
 				return nil, fmt.Errorf("nn: compile: node %q wants a Conv2D", n.Name)
 			}
@@ -139,7 +145,11 @@ func CompileGraph(seq *Sequential, g *graph.Graph) (*GraphProgram, error) {
 			if oh, ow := conv.Geom.OutSize(n.InShape[1], n.InShape[2]); oh != n.OutShape[1] || ow != n.OutShape[2] {
 				return nil, fmt.Errorf("nn: compile: node %q geometry mismatch", n.Name)
 			}
-			op.kind, op.conv, op.relu = execConv, conv, peekReLU()
+			if qconv != nil {
+				op.kind, op.qconv, op.relu = execQuantConv, qconv, peekReLU()
+			} else {
+				op.kind, op.conv, op.relu = execConv, conv, peekReLU()
+			}
 		case graph.OpPool:
 			pool, ok := next().(*MaxPool2D)
 			if !ok {
@@ -183,7 +193,9 @@ func CompileGraph(seq *Sequential, g *graph.Graph) (*GraphProgram, error) {
 			}
 			spp = nil
 		case graph.OpMatMul:
-			lin, ok := next().(*Linear)
+			m := next()
+			qlin, _ := m.(*QuantLinear)
+			lin, ok := Unwrap(m).(*Linear)
 			if !ok {
 				return nil, fmt.Errorf("nn: compile: node %q wants a Linear", n.Name)
 			}
@@ -191,7 +203,11 @@ func CompileGraph(seq *Sequential, g *graph.Graph) (*GraphProgram, error) {
 				return nil, fmt.Errorf("nn: compile: node %q features %d→%d, layer %d→%d",
 					n.Name, tensor.Volume(n.Inputs[0].OutShape), n.OutShape[0], lin.In, lin.Out)
 			}
-			op.kind, op.lin, op.relu = execLinear, lin, peekReLU()
+			if qlin != nil {
+				op.kind, op.qlin, op.relu = execQuantLinear, qlin, peekReLU()
+			} else {
+				op.kind, op.lin, op.relu = execLinear, lin, peekReLU()
+			}
 		case graph.OpElementwise:
 			act, ok := next().(*ReLU)
 			if !ok {
@@ -246,7 +262,29 @@ func (p *GraphProgram) runOp(op *compiledOp, outs []*tensor.Tensor, a *tensor.Ar
 		outs[op.node.ID] = out
 	case execReLU:
 		outs[op.node.ID] = op.act.Infer(outs[op.inputs[0]], a)
+	case execQuantConv:
+		outs[op.node.ID] = op.qconv.inferFused(outs[op.inputs[0]], a, op.relu)
+	case execQuantLinear:
+		in := outs[op.inputs[0]]
+		if in.Rank() != 2 {
+			in = a.View(in, in.Dim(0), -1)
+		}
+		outs[op.node.ID] = op.qlin.inferFused(in, a, op.relu)
 	}
+}
+
+// OpTag implements the measured oracle's optional precision tagging:
+// nodes bound to int8 kernels are priced separately from fp32 ones, so a
+// warm fp32 cost cache stays valid when a quantized program is measured.
+func (p *GraphProgram) OpTag(n *graph.Node) string {
+	if n.ID < 0 || n.ID >= len(p.byNode) || p.byNode[n.ID] == nil {
+		return ""
+	}
+	switch p.byNode[n.ID].kind {
+	case execQuantConv, execQuantLinear:
+		return "int8"
+	}
+	return ""
 }
 
 // BindOp prepares synthetic inputs for measuring node n at the given

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"drainnet/internal/tensor"
+)
+
+// refAdaptiveMax is an independent reference for PyTorch-style adaptive
+// max pooling: bin i over an axis of size `in` covers
+// [floor(i·in/out), ceil((i+1)·in/out)).
+func refAdaptiveMax(x *tensor.Tensor, out int) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	res := tensor.New(n, c, out, out)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < out; oy++ {
+				y0 := oy * h / out
+				y1 := int(math.Ceil(float64((oy+1)*h) / float64(out)))
+				for ox := 0; ox < out; ox++ {
+					x0 := ox * w / out
+					x1 := int(math.Ceil(float64((ox+1)*w) / float64(out)))
+					best := float32(math.Inf(-1))
+					for iy := y0; iy < y1; iy++ {
+						for ix := x0; ix < x1; ix++ {
+							if v := x.At(i, ch, iy, ix); v > best {
+								best = v
+							}
+						}
+					}
+					res.Set(best, i, ch, oy, ox)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// TestSPPOddNonSquareMaps exercises every pyramid level 1..5 on odd,
+// non-square feature maps (11×13 and 13×11) — including levels larger
+// than makes even bins (5 over 11) and batch > 1 — against the naive
+// reference, through both Forward and Infer.
+func TestSPPOddNonSquareMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, hw := range [][2]int{{11, 13}, {13, 11}, {7, 5}} {
+		h, w := hw[0], hw[1]
+		x := randInput(rng, 2, 3, h, w)
+		spp := NewSPP(5, 4, 3, 2, 1)
+		wantWidth := spp.OutFeatures(3)
+		if wantWidth != 3*(25+16+9+4+1) {
+			t.Fatalf("OutFeatures(3) = %d", wantWidth)
+		}
+
+		// Reference: per-level adaptive pools flattened and concatenated.
+		ref := tensor.New(2, wantWidth)
+		col := 0
+		for _, l := range spp.Levels {
+			po := refAdaptiveMax(x, l)
+			feat := 3 * l * l
+			for i := 0; i < 2; i++ {
+				copy(ref.Data()[i*wantWidth+col:i*wantWidth+col+feat],
+					po.Data()[i*feat:(i+1)*feat])
+			}
+			col += feat
+		}
+
+		fwd := spp.Forward(x)
+		assertBitwiseEqual(t, "Forward 11x13", fwd, ref)
+		inf := spp.Infer(x, tensor.NewArena())
+		assertBitwiseEqual(t, "Infer 11x13", inf, ref)
+
+		// Each level alone must also match the reference (catches a bug
+		// that level concatenation order could mask).
+		for _, l := range []int{1, 2, 3, 4, 5} {
+			single := NewSPP(l)
+			got := single.Infer(x, tensor.NewArena())
+			want := refAdaptiveMax(x, l)
+			flat := tensor.New(2, 3*l*l)
+			copy(flat.Data(), want.Data())
+			assertBitwiseEqual(t, "single level", got, flat)
+		}
+	}
+}

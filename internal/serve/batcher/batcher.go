@@ -69,6 +69,12 @@ type Options struct {
 	// sequential fast path. The plan must have been optimized for the
 	// same config and a compatible MaxBatch (model.OptimizeSchedules).
 	Plan *model.SchedulePlan
+	// Precision labels the numeric precision the pool's network serves at
+	// (empty → fp32). Informational: the network handed to New is already
+	// quantized (or not) by the caller. The label joins the request
+	// latency histogram, so fp32 and int8 latencies are separate series
+	// in /v1/metrics.
+	Precision model.Precision
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueSize <= 0 {
 		o.QueueSize = 64
+	}
+	if o.Precision == "" {
+		o.Precision = model.PrecisionFP32
 	}
 	return o
 }
@@ -210,7 +219,9 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 // validateConfig walks the network's module sequence against the layer
 // sequence cfg.Build would produce, checking layer kinds, channel counts
 // and geometry, so a config/network mismatch is caught at pool
-// construction instead of panicking mid-inference.
+// construction instead of panicking mid-inference. Quantized layers are
+// unwrapped to their fp32 base first, so an int8 network validates
+// against the same config it was quantized from.
 func validateConfig(cfg model.Config, net *nn.Sequential) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -223,7 +234,7 @@ func validateConfig(cfg model.Config, net *nn.Sequential) error {
 		}
 		m := mods[idx]
 		idx++
-		return m
+		return nn.Unwrap(m)
 	}
 	inC := cfg.InBands
 	for i, cv := range cfg.Convs {

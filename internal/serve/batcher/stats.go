@@ -13,10 +13,11 @@ import (
 // telemetry registry* — the same counters and histograms /v1/metrics
 // exports — so the two endpoints cannot drift.
 type Stats struct {
-	Replicas      int `json:"replicas"`
-	MaxBatch      int `json:"max_batch"`
-	QueueCapacity int `json:"queue_capacity"`
-	QueueDepth    int `json:"queue_depth"`
+	Replicas      int    `json:"replicas"`
+	MaxBatch      int    `json:"max_batch"`
+	QueueCapacity int    `json:"queue_capacity"`
+	QueueDepth    int    `json:"queue_depth"`
+	Precision     string `json:"precision"`
 
 	// Served counts requests answered with a detection; Rejected counts
 	// queue-full and pool-closed refusals; Canceled counts requests whose
@@ -58,6 +59,7 @@ type statsAccum struct {
 	perReplica []*telemetry.Counter
 
 	replicas, maxBatch, queueCap int
+	precision                    string
 }
 
 func newStatsAccum(opts Options) *statsAccum {
@@ -77,13 +79,17 @@ func newStatsAccum(opts Options) *statsAccum {
 			"Forward passes executed by the replica pool."),
 		batchSize: reg.Histogram("drainnet_batch_size",
 			"Clips coalesced into one forward pass (the realized §6.4 batch size).", sizeBounds),
-		latency: reg.Histogram("drainnet_request_latency_seconds",
-			"Request latency, enqueue to result delivery.", telemetry.TimeBuckets),
+		// Labeled by serving precision, so an fp32 pool and an int8 pool
+		// (or an A/B rollout across restarts) produce separate series.
+		latency: reg.HistogramVec("drainnet_request_latency_seconds",
+			"Request latency, enqueue to result delivery, by serving precision.",
+			telemetry.TimeBuckets, "precision").With(string(opts.Precision)),
 		queueDepth: reg.Gauge("drainnet_queue_depth",
 			"Requests waiting on the bounded queue."),
-		replicas: opts.Replicas,
-		maxBatch: opts.MaxBatch,
-		queueCap: opts.QueueSize,
+		replicas:  opts.Replicas,
+		maxBatch:  opts.MaxBatch,
+		queueCap:  opts.QueueSize,
+		precision: string(opts.Precision),
 	}
 	vec := reg.CounterVec("drainnet_replica_served_total",
 		"Clips served, by replica.", "replica")
@@ -120,6 +126,7 @@ func (s *statsAccum) snapshot(queueDepth int) Stats {
 		MaxBatch:      s.maxBatch,
 		QueueCapacity: s.queueCap,
 		QueueDepth:    queueDepth,
+		Precision:     s.precision,
 		Served:        s.served.Value(),
 		Rejected:      s.rejected.Value(),
 		Canceled:      s.canceled.Value(),

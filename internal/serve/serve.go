@@ -84,6 +84,10 @@ type ModelInfo struct {
 	Threshold float64 `json:"threshold"`
 	Replicas  int     `json:"replicas"`
 	MaxBatch  int     `json:"max_batch"`
+	// Precision is the numeric precision the pool actually serves at
+	// ("fp32" or "int8") — after any accuracy-gate fallback, not the
+	// requested mode.
+	Precision string `json:"precision"`
 }
 
 // Options configures the serving pool behind the HTTP API. The zero
@@ -108,6 +112,10 @@ type Options struct {
 	// Plan enables IOS-scheduled inference on every replica (see
 	// batcher.Options.Plan); nil serves with the sequential fast path.
 	Plan *model.SchedulePlan
+	// Precision labels the numeric precision of the network handed to
+	// New (see batcher.Options.Precision; empty → fp32). It is reported
+	// by /v1/model and labels the request latency histogram.
+	Precision model.Precision
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +165,7 @@ func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opt
 		QueueSize: opts.QueueSize,
 		Telemetry: tel,
 		Plan:      opts.Plan,
+		Precision: opts.Precision,
 	})
 	if err != nil {
 		tel.Close()
@@ -260,6 +269,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		Threshold: s.threshold,
 		Replicas:  popts.Replicas,
 		MaxBatch:  popts.MaxBatch,
+		Precision: string(popts.Precision),
 	})
 }
 

@@ -14,14 +14,27 @@ package tensor
 type Arena struct {
 	slots []*Tensor
 	next  int
+
+	// int8/int64 scratch pools for the quantized inference path: the
+	// quantized activations, lowered int8 cols and packed-lane GEMM
+	// accumulators cycle through these with the same grow-only
+	// discipline as the tensor slots.
+	i8slots  [][]int8
+	i8next   int
+	i64slots [][]int64
+	i64next  int
 }
 
 // NewArena creates an empty arena.
 func NewArena() *Arena { return &Arena{} }
 
-// Reset recycles every tensor handed out since the last Reset. Backing
-// buffers are retained at their high-water capacity.
-func (a *Arena) Reset() { a.next = 0 }
+// Reset recycles every tensor and scratch slice handed out since the
+// last Reset. Backing buffers are retained at their high-water capacity.
+func (a *Arena) Reset() {
+	a.next = 0
+	a.i8next = 0
+	a.i64next = 0
+}
 
 // Slots reports how many tensors the arena currently owns (its
 // high-water mark of concurrent temporaries).
@@ -82,6 +95,39 @@ func (a *Arena) View(x *Tensor, shape ...int) *Tensor {
 		panic("tensor: view changes volume")
 	}
 	return t
+}
+
+// Int8 returns an int8 scratch slice of length n drawn from the arena.
+// Contents are UNSPECIFIED (stale data); callers must fully overwrite it.
+// Like Get, steady-state calls allocate nothing once every slot has
+// grown to its high-water capacity.
+func (a *Arena) Int8(n int) []int8 {
+	if a.i8next == len(a.i8slots) {
+		a.i8slots = append(a.i8slots, nil)
+	}
+	s := a.i8slots[a.i8next]
+	if cap(s) < n {
+		s = make([]int8, n)
+		a.i8slots[a.i8next] = s
+	}
+	a.i8next++
+	return s[:n]
+}
+
+// Int64 returns an int64 scratch slice of length n drawn from the arena,
+// with the same unspecified-contents / grow-only contract as Int8. The
+// quantized GEMM uses these as packed dual-lane accumulators.
+func (a *Arena) Int64(n int) []int64 {
+	if a.i64next == len(a.i64slots) {
+		a.i64slots = append(a.i64slots, nil)
+	}
+	s := a.i64slots[a.i64next]
+	if cap(s) < n {
+		s = make([]int64, n)
+		a.i64slots[a.i64next] = s
+	}
+	a.i64next++
+	return s[:n]
 }
 
 func (a *Arena) slot() *Tensor {
