@@ -3,20 +3,31 @@
 GO ?= go
 
 .PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
-        test-race-fastpath test-race-ios check-allocs bench bench-serve \
-        bench-telemetry bench-inference bench-ios test-short bench-fast \
-        experiments experiments-train examples renders clean
+        test-race-fastpath test-race-ios test-race-sweep smoke-sweep check-allocs \
+        bench bench-serve bench-telemetry bench-inference bench-ios test-short \
+        bench-fast experiments experiments-train examples renders clean
 
 all: build vet test
 
 # The gate for every change: build, vet, full tests, race-checked passes
 # over the concurrent paths (batcher + HTTP layer + telemetry + the
-# inference fast path's shared worker pool + the IOS stage executor),
-# and the zero-allocation regression guards on both serving forwards.
-check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios check-allocs
+# inference fast path's shared worker pool + the IOS stage executor +
+# the sweep job runner), the sweep kill-and-resume smoke, and the
+# zero-allocation regression guards on both serving forwards.
+check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep smoke-sweep check-allocs
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
+
+# Sweep jobs under the race detector: the chunked worker fan-out, the
+# manager's drain path, and the checkpoint writer all run concurrently.
+test-race-sweep:
+	$(GO) test -race ./internal/sweep/
+
+# Kill-and-resume smoke: drain a mid-flight sweep (fake backend and the
+# real batcher pool), resume it, and require bit-identical results.
+smoke-sweep:
+	$(GO) test -race -count=1 -run 'TestKillAndResume|TestSweepSurvivesServerRestart' ./internal/sweep/ ./internal/serve/
 
 test-race-telemetry:
 	$(GO) test -race ./internal/telemetry/...

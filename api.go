@@ -1,9 +1,11 @@
 package drainnet
 
 import (
+	"io"
 	"math/rand"
 
 	"drainnet/internal/baseline"
+	"drainnet/internal/export"
 	"drainnet/internal/gpu"
 	"drainnet/internal/graph"
 	"drainnet/internal/hydro"
@@ -15,6 +17,7 @@ import (
 	"drainnet/internal/profiler"
 	"drainnet/internal/serve"
 	"drainnet/internal/serve/batcher"
+	"drainnet/internal/sweep"
 	"drainnet/internal/telemetry"
 	"drainnet/internal/tensor"
 	"drainnet/internal/terrain"
@@ -404,6 +407,61 @@ type ServeOptions = serve.Options
 // objectness confidence cut for HasObject.
 func NewDetectorServer(cfg ModelConfig, net *Network, threshold float64, opts ServeOptions) (*DetectorServer, error) {
 	return serve.NewWithOptions(cfg, net, threshold, opts)
+}
+
+// Hit is the /v1 wire schema for one detection, shared by /v1/detect,
+// /v1/detect/batch, and /v1/sweep/{id}/results: a score plus either a
+// clip-relative Box (detect) or a raster Point (sweep results).
+type Hit = serve.Hit
+
+// RasterPoint is a raster coordinate in a Hit.
+type RasterPoint = serve.RasterPoint
+
+// ---- Watershed sweep jobs (async /v1/sweep) ----
+
+// SweepSpec describes a watershed-scale sweep job: raster size and seed,
+// sliding-window geometry, the candidate prior, scenario list, and
+// checkpoint cadence. Zero fields take model-derived defaults.
+type SweepSpec = sweep.Spec
+
+// SweepStatus is a job snapshot: state, phase, per-counter progress,
+// skip rate, clips/sec throughput, and per-scenario accuracy summaries.
+type SweepStatus = sweep.Status
+
+// SweepScenarioSummary scores one completed scenario: windows swept,
+// candidates inferred, and AP/recall/precision against the synthetic
+// ground-truth crossings.
+type SweepScenarioSummary = sweep.ScenarioSummary
+
+// SweepHit is one merged crossing detection in raster coordinates.
+type SweepHit = sweep.Hit
+
+// SweepManager runs resumable sweep jobs over an inference backend; the
+// HTTP server embeds one behind /v1/sweep, and drainnet-sweep drives one
+// directly.
+type SweepManager = sweep.Manager
+
+// SweepManagerOptions wires a manager to a pool: the Submit backend,
+// model input geometry, checkpoint directory, and telemetry.
+type SweepManagerOptions = sweep.ManagerOptions
+
+// SweepJob is one running or finished sweep job.
+type SweepJob = sweep.Job
+
+// NewSweepManager builds a sweep-job manager. With a checkpoint
+// directory set, interrupted jobs resume bit-identically via
+// SweepManager.Resume.
+func NewSweepManager(opts SweepManagerOptions) (*SweepManager, error) {
+	return sweep.NewManager(opts)
+}
+
+// GeoPoint is one crossing feature for GeoJSON export.
+type GeoPoint = export.PointFeature
+
+// WriteCrossingsGeoJSON writes detections as a GeoJSON FeatureCollection
+// of Point features (coordinates are [col, row]).
+func WriteCrossingsGeoJSON(w io.Writer, points []GeoPoint) error {
+	return export.WriteGeoJSON(w, points)
 }
 
 // ---- Telemetry (serving observability) ----

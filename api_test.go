@@ -1,6 +1,7 @@
 package drainnet
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"testing"
@@ -229,6 +230,65 @@ func TestPublicServingAPI(t *testing.T) {
 	defer srv.Close()
 	if srv.Handler() == nil {
 		t.Fatal("nil handler")
+	}
+}
+
+// TestPublicSweepAPI runs a small checkpointed sweep job end to end
+// through the exported façade: pool → manager → job → results → GeoJSON.
+func TestPublicSweepAPI(t *testing.T) {
+	cfg := OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := BuildModel(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewReplicaPool(cfg, net, PoolOptions{Replicas: 1, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewSweepManager(SweepManagerOptions{
+		Submit:        pool,
+		Bands:         4,
+		DefaultWindow: 40,
+		Dir:           t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { mgr.Close(); pool.Close() }()
+
+	job, err := mgr.Start(SweepSpec{
+		Rows: 96, Cols: 96, Seed: 5,
+		Stride: 24, MinScore: 0.05,
+		RoadSpacing: 48, StreamThreshold: 48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	var st SweepStatus = job.Status()
+	if st.State != "done" || st.Windows == 0 || st.Inferred != st.Candidates {
+		t.Fatalf("sweep status %+v", st)
+	}
+	var sum SweepScenarioSummary = st.PerScenario[0]
+	if sum.Scenario != "baseline" || sum.Windows != st.Windows {
+		t.Fatalf("scenario summary %+v", sum)
+	}
+	hits, next := job.Results(0, 1000)
+	if next != -1 || len(hits) != st.Hits {
+		t.Fatalf("results %d (next %d), status says %d", len(hits), next, st.Hits)
+	}
+
+	var pts []GeoPoint
+	for _, h := range hits {
+		var sh SweepHit = h
+		pts = append(pts, GeoPoint{Row: sh.Row, Col: sh.Col, Score: sh.Score, Scenario: sh.Scenario})
+	}
+	var buf bytes.Buffer
+	if err := WriteCrossingsGeoJSON(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"FeatureCollection"`)) {
+		t.Fatalf("GeoJSON output %s", buf.String())
 	}
 }
 

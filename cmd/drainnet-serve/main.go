@@ -1,16 +1,25 @@
 // drainnet-serve trains (or loads) a drainage-crossing detector and
 // serves it over the versioned /v1 HTTP API:
 //
-//	POST /v1/detect        {"bands":4,"size":100,"pixels":[...]} → detection JSON
-//	POST /v1/detect/batch  [{...},{...}] → positional results/errors
-//	GET  /v1/model         served architecture and parameter count
-//	GET  /v1/stats         queue depth, batch histogram, latency quantiles
-//	GET  /v1/metrics       Prometheus text exposition (?format=json for JSON)
-//	GET  /v1/trace         most recent sampled request as Chrome trace JSON
-//	GET  /healthz          liveness
-//	GET  /debug/pprof/*    Go profiling endpoints (only with -pprof)
+//	POST   /v1/detect             {"bands":4,"size":100,"pixels":[...]} → hit JSON
+//	POST   /v1/detect/batch       {"items":[{...},{...}]} → positional results
+//	POST   /v1/sweep              start an async watershed sweep job
+//	GET    /v1/sweep              list sweep jobs
+//	GET    /v1/sweep/{id}         sweep progress, phase, clips/sec
+//	GET    /v1/sweep/{id}/results cursor-paginated crossing hits
+//	DELETE /v1/sweep/{id}         cancel a sweep job
+//	GET    /v1/model              served architecture and parameter count
+//	GET    /v1/stats              queue depth, batch histogram, latency quantiles
+//	GET    /v1/metrics            Prometheus text exposition (?format=json)
+//	GET    /v1/trace              most recent sampled request as Chrome trace
+//	GET    /healthz               liveness
+//	GET    /debug/pprof/*         Go profiling endpoints (only with -pprof)
 //
-// (Legacy unversioned /detect and /model remain as deprecated aliases.)
+// (The legacy unversioned /detect and /model aliases answer 410 Gone.)
+//
+// Sweep jobs checkpoint to -sweep-dir after every chunk and survive a
+// graceful drain: restart the server with the same -sweep-dir and the
+// unfinished jobs resume bit-identically.
 //
 // Inference is batched across a pool of independent model replicas;
 // -max-batch and -max-wait tune the §6.4 latency/throughput trade-off.
@@ -73,6 +82,8 @@ func main() {
 	iosCache := flag.String("ios-cache", "", "operator cost-cache file for -ios (loaded if present, saved after measuring; startups with a warm cache skip re-measurement)")
 	precisionFlag := flag.String("precision", "fp32", "serving precision: fp32, int8 (refuse to start if the accuracy gate fails) or auto (fall back to fp32)")
 	quantMaxDrop := flag.Float64("quant-max-ap-drop", 0.01, "accuracy gate epsilon: largest tolerated AP drop (fp32 AP − int8 AP) on the held-out split before int8 is refused")
+	sweepDir := flag.String("sweep-dir", "", "checkpoint directory for /v1/sweep jobs (empty = jobs die with the process); unfinished jobs in it resume at startup")
+	sweepConc := flag.Int("sweep-concurrency", 0, "max in-flight pool submissions per sweep job (0 = default 16)")
 	flag.Parse()
 
 	precision, err := model.ParsePrecision(*precisionFlag)
@@ -181,15 +192,18 @@ func main() {
 	}
 
 	srv, err := serve.NewWithOptions(cfg, net, *threshold, serve.Options{
-		Replicas:       *replicas,
-		MaxBatch:       *maxBatch,
-		MaxWait:        *maxWait,
-		QueueSize:      *queue,
-		RequestTimeout: *timeout,
-		Telemetry:      tel,
-		EnablePprof:    *pprofOn,
-		Plan:           plan,
-		Precision:      served,
+		Replicas:         *replicas,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		QueueSize:        *queue,
+		RequestTimeout:   *timeout,
+		Telemetry:        tel,
+		EnablePprof:      *pprofOn,
+		Plan:             plan,
+		Precision:        served,
+		SweepDir:         *sweepDir,
+		SweepResume:      *sweepDir != "",
+		SweepConcurrency: *sweepConc,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -197,9 +211,9 @@ func main() {
 	popts := srv.Pool().Options()
 	// One structured line with the full resolved configuration, so a log
 	// scraper (or a human) sees every serving knob in one place.
-	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t\n",
+	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t sweep_dir=%q\n",
 		cfg.Name, *addr, runtime.GOMAXPROCS(0), served, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
-		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn)
+		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn, *sweepDir)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

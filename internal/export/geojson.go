@@ -1,0 +1,58 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// PointFeature is one detected crossing destined for a GeoJSON export.
+// Raster coordinates map to GeoJSON positions as [col, row] (x, y) so the
+// export overlays directly onto rasters written by WriteASCIIGrid, whose
+// origin is (0, 0) at cell size 1.
+type PointFeature struct {
+	Row      int
+	Col      int
+	Score    float64
+	Scenario string
+}
+
+// geoFeature is the RFC 7946 feature shape the encoder emits.
+type geoFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoPoint       `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geoPoint struct {
+	Type        string     `json:"type"`
+	Coordinates [2]float64 `json:"coordinates"`
+}
+
+type geoCollection struct {
+	Type     string       `json:"type"`
+	Features []geoFeature `json:"features"`
+}
+
+// WriteGeoJSON serializes the crossings as a GeoJSON FeatureCollection of
+// Point features — the sweep's interchange format for GIS tools. An empty
+// input writes a valid empty collection.
+func WriteGeoJSON(w io.Writer, points []PointFeature) error {
+	col := geoCollection{Type: "FeatureCollection", Features: make([]geoFeature, len(points))}
+	for i, p := range points {
+		props := map[string]any{"score": p.Score}
+		if p.Scenario != "" {
+			props["scenario"] = p.Scenario
+		}
+		col.Features[i] = geoFeature{
+			Type: "Feature",
+			Geometry: geoPoint{
+				Type:        "Point",
+				Coordinates: [2]float64{float64(p.Col), float64(p.Row)},
+			},
+			Properties: props,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(col)
+}

@@ -1,0 +1,64 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteGeoJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteGeoJSON(&buf, []PointFeature{
+		{Row: 12, Col: 34, Score: 0.97, Scenario: "baseline"},
+		{Row: 5, Col: 6, Score: 0.91},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string     `json:"type"`
+				Coordinates [2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != "FeatureCollection" || len(got.Features) != 2 {
+		t.Fatalf("bad collection: %+v", got)
+	}
+	f := got.Features[0]
+	if f.Type != "Feature" || f.Geometry.Type != "Point" {
+		t.Fatalf("bad feature: %+v", f)
+	}
+	// GeoJSON positions are [x, y] = [col, row].
+	if f.Geometry.Coordinates != [2]float64{34, 12} {
+		t.Fatalf("coordinates = %v, want [34 12]", f.Geometry.Coordinates)
+	}
+	if f.Properties["score"] != 0.97 || f.Properties["scenario"] != "baseline" {
+		t.Fatalf("properties = %v", f.Properties)
+	}
+	if _, ok := got.Features[1].Properties["scenario"]; ok {
+		t.Fatal("empty scenario should be omitted")
+	}
+}
+
+func TestWriteGeoJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	feats, ok := got["features"].([]any)
+	if !ok || len(feats) != 0 {
+		t.Fatalf(`empty collection must keep "features": [] — got %v`, got)
+	}
+}

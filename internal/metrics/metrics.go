@@ -7,9 +7,13 @@ package metrics
 import "sort"
 
 // Box is an axis-aligned box in normalized [0,1] image coordinates,
-// center-size parameterization.
+// center-size parameterization. The JSON field names are part of the
+// /v1 detection hit schema.
 type Box struct {
-	CX, CY, W, H float64
+	CX float64 `json:"cx"`
+	CY float64 `json:"cy"`
+	W  float64 `json:"w"`
+	H  float64 `json:"h"`
 }
 
 // IoU returns the intersection-over-union of two boxes.

@@ -11,6 +11,7 @@ const (
 	CodeInvalidRequest   = "invalid_request"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeNotFound         = "not_found"
+	CodeGone             = "gone"
 	CodeQueueFull        = "queue_full"
 	CodeTimeout          = "timeout"
 	CodeCanceled         = "canceled"
@@ -77,12 +78,15 @@ func method(verb string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// deprecated marks a legacy unversioned route: it still serves, but
-// advertises its /v1 successor so clients can migrate before removal.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+// gone retires a legacy unversioned route: every request gets 410 with
+// the standard envelope and a Link header naming the /v1 successor.
+func gone(successor string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
-		h(w, r)
+		writeError(w, &apiError{
+			Status:  http.StatusGone,
+			Code:    CodeGone,
+			Message: "this route was removed; use " + successor,
+		})
 	}
 }

@@ -11,7 +11,7 @@ import (
 
 // These tests pin down the /v1 error-envelope contract at its edges:
 // the catch-all 404 body shape, method enforcement on every route, and
-// the deprecation headers on both legacy aliases.
+// the 410 retirement of both legacy aliases.
 
 func TestNotFoundEnvelopeExactShape(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
@@ -67,6 +67,7 @@ func TestMethodNotAllowedOnEveryRoute(t *testing.T) {
 		{http.MethodPost, "/v1/trace", http.MethodGet},
 		{http.MethodGet, "/v1/detect", http.MethodPost},
 		{http.MethodGet, "/v1/detect/batch", http.MethodPost},
+		{http.MethodPut, "/v1/sweep", "GET, POST"},
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
@@ -91,43 +92,41 @@ func TestMethodNotAllowedOnEveryRoute(t *testing.T) {
 	}
 }
 
-func TestLegacyAliasesAdvertiseSuccessors(t *testing.T) {
+func TestLegacyAliasesReturnGone(t *testing.T) {
+	// The retired aliases answer 410 for every method, with the standard
+	// envelope and a Link naming the /v1 successor.
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/model")
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		method, path, successor string
+	}{
+		{http.MethodGet, "/model", "/v1/model"},
+		{http.MethodPost, "/model", "/v1/model"},
+		{http.MethodPost, "/detect", "/v1/detect"},
+		{http.MethodGet, "/detect", "/v1/detect"},
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("legacy /model status %d", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy /model missing Deprecation header")
-	}
-	if link := resp.Header.Get("Link"); link != `</v1/model>; rel="successor-version"` {
-		t.Fatalf("legacy /model Link header %q", link)
-	}
-}
-
-func TestLegacyAliasErrorsKeepDeprecationHeaders(t *testing.T) {
-	// Even an enveloped error from a legacy alias carries the migration
-	// headers: clients hitting only error paths still learn the successor.
-	ts := httptest.NewServer(testServer(t).Handler())
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/detect") // GET on a POST route
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("status %d, want 405", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy error response missing Deprecation header")
-	}
-	env := decodeError(t, resp)
-	if env.Error.Code != CodeMethodNotAllowed {
-		t.Fatalf("code %q", env.Error.Code)
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("%s %s: status %d, want 410", c.method, c.path, resp.StatusCode)
+		}
+		if link := resp.Header.Get("Link"); link != "<"+c.successor+`>; rel="successor-version"` {
+			t.Fatalf("%s %s: Link header %q", c.method, c.path, link)
+		}
+		env := decodeError(t, resp)
+		resp.Body.Close()
+		if env.Error.Code != CodeGone {
+			t.Fatalf("%s %s: code %q, want %q", c.method, c.path, env.Error.Code, CodeGone)
+		}
+		if !strings.Contains(env.Error.Message, c.successor) {
+			t.Fatalf("%s %s: message %q should name the successor", c.method, c.path, env.Error.Message)
+		}
 	}
 }

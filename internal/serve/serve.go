@@ -1,22 +1,34 @@
 // Package serve exposes a trained drainage-crossing detector over a
 // versioned HTTP API:
 //
-//	POST /v1/detect        one clip in, one detection out
-//	POST /v1/detect/batch  a slice of clips, per-item results or errors
-//	GET  /v1/model         served architecture and parameter count
-//	GET  /v1/stats         batching/latency statistics (JSON)
-//	GET  /v1/metrics       Prometheus text exposition (?format=json)
-//	GET  /v1/trace         latest sampled request as Chrome trace JSON
-//	GET  /healthz          liveness (unversioned)
-//	GET  /debug/pprof/*    Go profiling (only with Options.EnablePprof)
+//	POST   /v1/detect             one clip in, one detection hit out
+//	POST   /v1/detect/batch       {"items":[clips]}, positional results
+//	POST   /v1/sweep              start an async watershed sweep job
+//	GET    /v1/sweep              list sweep jobs
+//	GET    /v1/sweep/{id}         job status (progress, phase, clips/sec)
+//	GET    /v1/sweep/{id}/results cursor-paginated crossing hits
+//	DELETE /v1/sweep/{id}         cancel a job
+//	GET    /v1/model              served architecture and parameter count
+//	GET    /v1/stats              batching/latency statistics (JSON)
+//	GET    /v1/metrics            Prometheus text exposition (?format=json)
+//	GET    /v1/trace              latest sampled request as Chrome trace
+//	GET    /healthz               liveness (unversioned)
+//	GET    /debug/pprof/*         Go profiling (only with Options.EnablePprof)
 //
-// The legacy unversioned /detect and /model routes remain as deprecated
-// aliases for one release; they answer with Deprecation/Link headers.
+// The retired unversioned /detect and /model aliases answer 410 Gone
+// with a Link header naming their /v1 successor.
+//
+// Response conventions: no /v1 endpoint returns a bare JSON array —
+// collections arrive as {"items": [...]} with an optional next_cursor —
+// and every detection carries the shared Hit schema regardless of
+// endpoint. Errors use a uniform envelope:
+// {"error":{"code":"...","message":"..."}}.
 //
 // Inference runs on a batched multi-replica pool (internal/serve/batcher):
 // concurrent requests are coalesced into batches sized by the §6.4
 // efficiency curve and dispatched across independent network replicas.
-// Errors use a uniform envelope: {"error":{"code":"...","message":"..."}}.
+// Sweep jobs (internal/sweep) stream their candidate clips through the
+// same pool and survive graceful drains via on-disk checkpoints.
 //
 // Every request flows through internal/telemetry: handlers and the pool
 // emit span events (accepted → enqueued → batch formed → dispatch →
@@ -40,6 +52,7 @@ import (
 	"drainnet/internal/model"
 	"drainnet/internal/nn"
 	"drainnet/internal/serve/batcher"
+	"drainnet/internal/sweep"
 	"drainnet/internal/telemetry"
 	"drainnet/internal/tensor"
 )
@@ -59,19 +72,58 @@ type DetectRequest struct {
 	Pixels []float32 `json:"pixels"`
 }
 
-// DetectResponse is the detection result.
-type DetectResponse struct {
-	Score float64     `json:"score"`
-	Box   metrics.Box `json:"box"`
-	// HasObject applies the server's confidence threshold.
-	HasObject bool `json:"has_object"`
+// Hit is the one detection schema every /v1 endpoint speaks. Clip
+// endpoints (/v1/detect, /v1/detect/batch) fill Box with clip-relative
+// normalized coordinates; sweep results (/v1/sweep/{id}/results) fill
+// Point with absolute raster coordinates and the scenario that produced
+// the hit.
+type Hit struct {
+	Score float64 `json:"score"`
+	// HasObject applies the relevant confidence threshold (the server's
+	// for clips, the job spec's min_score for sweeps).
+	HasObject bool         `json:"has_object"`
+	Box       *metrics.Box `json:"box,omitempty"`
+	Point     *RasterPoint `json:"point,omitempty"`
+	Scenario  string       `json:"scenario,omitempty"`
+}
+
+// RasterPoint locates a sweep hit in full-raster cell coordinates.
+type RasterPoint struct {
+	Row int `json:"row"`
+	Col int `json:"col"`
+}
+
+// BatchRequest is the POST /v1/detect/batch payload.
+type BatchRequest struct {
+	Items []DetectRequest `json:"items"`
+}
+
+// BatchResponse carries the positional batch results.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
 }
 
 // BatchItem is one positional result of POST /v1/detect/batch: exactly
 // one of Result or Error is set.
 type BatchItem struct {
-	Result *DetectResponse `json:"result,omitempty"`
-	Error  *ErrorBody      `json:"error,omitempty"`
+	Result *Hit       `json:"result,omitempty"`
+	Error  *ErrorBody `json:"error,omitempty"`
+}
+
+// ItemsResponse is the generic collection envelope: /v1 endpoints never
+// return a bare JSON array. NextCursor, when present, is the cursor of
+// the next page.
+type ItemsResponse[T any] struct {
+	Items []T `json:"items"`
+	// NextCursor is set when another page exists.
+	NextCursor *int `json:"next_cursor,omitempty"`
+}
+
+func items[T any](xs []T) ItemsResponse[T] {
+	if xs == nil {
+		xs = []T{}
+	}
+	return ItemsResponse[T]{Items: xs}
 }
 
 // ModelInfo describes the served model (GET /v1/model).
@@ -116,6 +168,16 @@ type Options struct {
 	// New (see batcher.Options.Precision; empty → fp32). It is reported
 	// by /v1/model and labels the request latency histogram.
 	Precision model.Precision
+	// SweepDir is the checkpoint directory for /v1/sweep jobs. Empty
+	// keeps jobs in memory only — they die with the process instead of
+	// surviving a graceful drain.
+	SweepDir string
+	// SweepResume, with SweepDir set, relaunches unfinished checkpointed
+	// jobs when the server starts.
+	SweepResume bool
+	// SweepConcurrency bounds a sweep job's in-flight pool submissions
+	// (see sweep.ManagerOptions.Concurrency).
+	SweepConcurrency int
 }
 
 func (o Options) withDefaults() Options {
@@ -132,6 +194,7 @@ type Server struct {
 	opts      Options
 	pool      *batcher.Pool
 	params    int
+	sweeps    *sweep.Manager
 
 	tel          *telemetry.Telemetry
 	httpRequests *telemetry.CounterVec
@@ -172,6 +235,27 @@ func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opt
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{cfg: cfg, threshold: threshold, opts: opts, pool: pool, params: params, tel: tel}
+	s.sweeps, err = sweep.NewManager(sweep.ManagerOptions{
+		Submit:        pool,
+		Bands:         cfg.InBands,
+		DefaultWindow: cfg.InSize,
+		Precision:     string(pool.Options().Precision),
+		Dir:           opts.SweepDir,
+		Telemetry:     tel,
+		Concurrency:   opts.SweepConcurrency,
+	})
+	if err != nil {
+		pool.Close()
+		tel.Close()
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if opts.SweepResume && opts.SweepDir != "" {
+		if _, err := s.sweeps.Resume(); err != nil {
+			pool.Close()
+			tel.Close()
+			return nil, fmt.Errorf("serve: resume sweeps: %w", err)
+		}
+	}
 	s.httpRequests = tel.Registry().CounterVec("drainnet_http_requests_total",
 		"HTTP requests, by route and status code.", "route", "code")
 	s.httpDuration = tel.Registry().HistogramVec("drainnet_http_request_duration_seconds",
@@ -186,10 +270,16 @@ func (s *Server) Pool() *batcher.Pool { return s.pool }
 // pipeline, sampled traces).
 func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 
-// Close drains the inference pool — queued requests finish, new ones
-// are refused — then stops the telemetry pipeline (its registry stays
-// readable). Call after the HTTP listener stops accepting connections.
+// Sweeps exposes the sweep job manager (status, direct job control).
+func (s *Server) Sweeps() *sweep.Manager { return s.sweeps }
+
+// Close drains the server: sweep jobs checkpoint and stop first (they
+// are pool clients), then the inference pool drains — queued requests
+// finish, new ones are refused — then the telemetry pipeline stops (its
+// registry stays readable). Call after the HTTP listener stops accepting
+// connections. Checkpointed sweep jobs resume on the next start.
 func (s *Server) Close() {
+	s.sweeps.Close()
 	s.pool.Close()
 	s.tel.Close()
 }
@@ -209,9 +299,11 @@ func (s *Server) Handler() http.Handler {
 	handle("/v1/trace", method(http.MethodGet, s.handleTrace))
 	handle("/v1/detect", method(http.MethodPost, s.handleDetect))
 	handle("/v1/detect/batch", method(http.MethodPost, s.handleDetectBatch))
-	// Deprecated unversioned aliases, kept for one release.
-	handle("/model", deprecated("/v1/model", method(http.MethodGet, s.handleModel)))
-	handle("/detect", deprecated("/v1/detect", method(http.MethodPost, s.handleDetect)))
+	handle("/v1/sweep", s.handleSweepCollection)
+	handle("/v1/sweep/", s.handleSweepJob)
+	// Retired unversioned aliases: 410 pointing at the /v1 successor.
+	handle("/model", gone("/v1/model"))
+	handle("/detect", gone("/v1/detect"))
 	if s.opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -278,11 +370,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics exposes the telemetry registry: Prometheus text by
-// default, the JSON snapshot with ?format=json.
+// default, the JSON snapshot with ?format=json (items-enveloped like
+// every /v1 collection).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.tel.RecordRuntime() // refresh Go heap/GC gauges at scrape time
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, s.tel.Registry().Snapshot())
+		writeJSON(w, http.StatusOK, items(s.tel.Registry().Snapshot()))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -300,7 +393,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Drainnet-Request-Id", strconv.FormatUint(id, 10))
+	// The stored trace is a bare Chrome-trace event array; wrap it in the
+	// (equally valid) object form so no /v1 endpoint emits a bare array.
+	_, _ = w.Write([]byte(`{"traceEvents":`))
 	_, _ = w.Write(trace)
+	_, _ = w.Write([]byte("}\n"))
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -327,13 +424,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
-	var reqs []DetectRequest
-	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+	var br BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
 		writeError(w, badRequest(CodeBadJSON, "bad JSON: "+err.Error()))
 		return
 	}
+	reqs := br.Items
 	if len(reqs) == 0 {
-		writeError(w, badRequest(CodeInvalidRequest, "empty batch"))
+		writeError(w, badRequest(CodeInvalidRequest, `empty batch ("items" missing or empty)`))
 		return
 	}
 	if len(reqs) > maxBatchItems {
@@ -367,7 +465,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, items)
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
 	now := time.Now()
 	for _, id := range ids {
 		if id != 0 {
@@ -405,29 +503,30 @@ func (s *Server) validate(req *DetectRequest) *apiError {
 // infer runs one validated request through the pool, translating pool
 // errors into API errors. SPP-Net accepts any clip size ≥ minClipSize,
 // so req.Size need not equal the training size.
-func (s *Server) infer(ctx context.Context, req *DetectRequest) (*DetectResponse, *apiError) {
+func (s *Server) infer(ctx context.Context, req *DetectRequest) (*Hit, *apiError) {
 	ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
 	defer cancel()
 	x := tensor.FromSlice(req.Pixels, 1, req.Bands, req.Size, req.Size)
 	det, err := s.pool.Submit(ctx, x)
 	if err != nil {
-		return nil, poolError(err, s.pool.Options().MaxWait)
+		return nil, s.poolError(err)
 	}
-	return &DetectResponse{
+	box := det.Box
+	return &Hit{
 		Score:     det.Score,
-		Box:       det.Box,
+		Box:       &box,
 		HasObject: det.Score >= s.threshold,
 	}, nil
 }
 
 // poolError maps a batcher error to an HTTP status + envelope, attaching
 // Retry-After guidance for load shedding.
-func poolError(err error, maxWait time.Duration) *apiError {
+func (s *Server) poolError(err error) *apiError {
 	switch {
 	case errors.Is(err, batcher.ErrQueueFull):
 		return &apiError{Status: http.StatusTooManyRequests, Code: CodeQueueFull,
 			Message:    "request queue full; retry after backoff",
-			RetryAfter: retryAfterSeconds(maxWait)}
+			RetryAfter: s.retryAfterSeconds()}
 	case errors.Is(err, batcher.ErrClosed):
 		return &apiError{Status: http.StatusServiceUnavailable, Code: CodeUnavailable,
 			Message: "server is draining"}
@@ -443,9 +542,21 @@ func poolError(err error, maxWait time.Duration) *apiError {
 	}
 }
 
-// retryAfterSeconds suggests a Retry-After for 429s: at least one
-// max-wait window, rounded up to a whole second.
-func retryAfterSeconds(maxWait time.Duration) string {
-	secs := int(maxWait/time.Second) + 1
+// retryAfterSeconds suggests a Retry-After for 429s from the live
+// queue-wait distribution: a queue drains roughly QueueSize·p95 waits,
+// so the p95 queue wait times a settling factor is when capacity
+// realistically frees up. Before any request has been observed it falls
+// back to one max-wait window. Always ≥ 1 whole second (the header's
+// resolution).
+func (s *Server) retryAfterSeconds() string {
+	popts := s.pool.Options()
+	est := popts.MaxWait.Seconds()
+	if p95, ok := s.tel.QueueWaitQuantile(0.95); ok {
+		est = p95 * 4
+	}
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
 	return strconv.Itoa(secs)
 }

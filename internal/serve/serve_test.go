@@ -100,12 +100,15 @@ func TestDetectValidRequestV1(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var dr DetectResponse
+	var dr Hit
 	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
 		t.Fatal(err)
 	}
 	if dr.Score < 0 || dr.Score > 1 {
 		t.Fatalf("score %v", dr.Score)
+	}
+	if dr.Box == nil || dr.Point != nil || dr.Scenario != "" {
+		t.Fatalf("clip hit should carry a box and nothing raster-scoped: %+v", dr)
 	}
 }
 
@@ -199,44 +202,49 @@ func TestDetectRejectsGarbageJSON(t *testing.T) {
 	}
 }
 
-func TestLegacyDetectAliasDeprecated(t *testing.T) {
+func TestLegacyDetectAliasGone(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
 	resp := postJSON(t, ts.URL+"/detect", validDetectRequest())
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("legacy /detect status %d", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy route missing Deprecation header")
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("legacy /detect status %d, want 410", resp.StatusCode)
 	}
 	if link := resp.Header.Get("Link"); link != `</v1/detect>; rel="successor-version"` {
 		t.Fatalf("legacy route Link header %q", link)
+	}
+	env := decodeError(t, resp)
+	resp.Body.Close()
+	if env.Error.Code != CodeGone {
+		t.Fatalf("code %q, want %q", env.Error.Code, CodeGone)
 	}
 }
 
 func TestDetectBatchPositionalResults(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	batch := []DetectRequest{
+	batch := BatchRequest{Items: []DetectRequest{
 		validDetectRequest(),
 		{Bands: 3, Size: 40, Pixels: make([]float32, 3*40*40)}, // invalid item
 		validDetectRequest(),
-	}
+	}}
 	resp := postJSON(t, ts.URL+"/v1/detect/batch", batch)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var items []BatchItem
-	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
 		t.Fatal(err)
 	}
+	items := br.Items
 	if len(items) != 3 {
 		t.Fatalf("%d items, want 3", len(items))
 	}
 	if items[0].Result == nil || items[0].Error != nil {
 		t.Fatalf("item 0 should succeed: %+v", items[0])
+	}
+	if items[0].Result.Box == nil {
+		t.Fatalf("batch hit missing box: %+v", items[0].Result)
 	}
 	if items[1].Error == nil || items[1].Error.Code != CodeInvalidRequest {
 		t.Fatalf("item 1 should fail validation: %+v", items[1])
@@ -249,7 +257,7 @@ func TestDetectBatchPositionalResults(t *testing.T) {
 func TestDetectBatchRejectsEmpty(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
-	resp := postJSON(t, ts.URL+"/v1/detect/batch", []DetectRequest{})
+	resp := postJSON(t, ts.URL+"/v1/detect/batch", BatchRequest{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
 	}

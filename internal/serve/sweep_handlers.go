@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"drainnet/internal/sweep"
+)
+
+// maxSweepPage bounds one results page; larger limits clamp.
+const maxSweepPage = 1000
+
+// handleSweepCollection serves the /v1/sweep collection: POST starts a
+// job (202 + status), GET lists every known job.
+func (s *Server) handleSweepCollection(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSweepStart(w, r)
+	case http.MethodGet:
+		jobs := s.sweeps.Jobs()
+		out := make([]sweep.Status, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.Status()
+		}
+		writeJSON(w, http.StatusOK, items(out))
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, &apiError{Status: http.StatusMethodNotAllowed,
+			Code: CodeMethodNotAllowed, Message: "GET or POST required"})
+	}
+}
+
+func (s *Server) handleSweepStart(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, badRequest(CodeBadJSON, "bad JSON: "+err.Error()))
+		return
+	}
+	j, err := s.sweeps.Start(spec)
+	if err != nil {
+		writeError(w, badRequest(CodeInvalidRequest, err.Error()))
+		return
+	}
+	w.Header().Set("Location", "/v1/sweep/"+j.ID())
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleSweepJob serves the /v1/sweep/{id} subtree:
+//
+//	GET    /v1/sweep/{id}          status
+//	DELETE /v1/sweep/{id}          cancel
+//	GET    /v1/sweep/{id}/results  paginated hits (?cursor=&limit=)
+func (s *Server) handleSweepJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sweep/")
+	id, sub, hasSub := strings.Cut(rest, "/")
+	if id == "" || (hasSub && sub != "results") {
+		writeError(w, &apiError{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: "no such route: " + r.URL.Path})
+		return
+	}
+	j, ok := s.sweeps.Get(id)
+	if !ok {
+		writeError(w, &apiError{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: "no such sweep job: " + id})
+		return
+	}
+	switch {
+	case hasSub:
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, &apiError{Status: http.StatusMethodNotAllowed,
+				Code: CodeMethodNotAllowed, Message: "GET required"})
+			return
+		}
+		s.handleSweepResults(w, r, j)
+	case r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.Status())
+	case r.Method == http.MethodDelete:
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Status())
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, &apiError{Status: http.StatusMethodNotAllowed,
+			Code: CodeMethodNotAllowed, Message: "GET or DELETE required"})
+	}
+}
+
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request, j *sweep.Job) {
+	cursor, e := queryInt(r, "cursor", 0)
+	if e == nil {
+		var limit int
+		limit, e = queryInt(r, "limit", maxSweepPage)
+		if e == nil {
+			if limit <= 0 || limit > maxSweepPage {
+				limit = maxSweepPage
+			}
+			hits, next := j.Results(cursor, limit)
+			out := make([]Hit, len(hits))
+			for i, h := range hits {
+				out[i] = Hit{
+					Score:     h.Score,
+					HasObject: true,
+					Point:     &RasterPoint{Row: h.Row, Col: h.Col},
+					Scenario:  h.Scenario,
+				}
+			}
+			resp := items(out)
+			if next >= 0 {
+				resp.NextCursor = &next
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	writeError(w, e)
+}
+
+func queryInt(r *http.Request, key string, def int) (int, *apiError) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, badRequest(CodeInvalidRequest, key+" must be a non-negative integer")
+	}
+	return v, nil
+}

@@ -129,11 +129,13 @@ func TestMetricsEndpointJSON(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var points []telemetry.MetricPoint
-	if err := json.Unmarshal([]byte(body), &points); err != nil {
+	var snap struct {
+		Items []telemetry.MetricPoint `json:"items"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
 		t.Fatalf("JSON snapshot did not decode: %v", err)
 	}
-	if len(points) == 0 {
+	if len(snap.Items) == 0 {
 		t.Fatal("empty metric snapshot")
 	}
 }
@@ -205,13 +207,21 @@ func TestTraceSamplingEndToEnd(t *testing.T) {
 	if resp.Header.Get("Drainnet-Request-Id") == "" {
 		t.Fatal("trace missing Drainnet-Request-Id header")
 	}
-	var events []struct {
-		Name string `json:"name"`
-		Cat  string `json:"cat"`
-		Ph   string `json:"ph"`
+	// Chrome-trace object form: {"traceEvents": [...]} — the /v1 rule
+	// that no endpoint returns a bare array.
+	var trace struct {
+		Events []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
 	}
-	if err := json.Unmarshal([]byte(body), &events); err != nil {
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
 		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	events := trace.Events
+	if len(events) == 0 {
+		t.Fatal("traceEvents missing or empty")
 	}
 	var sawRequest, sawInference, sawLayer bool
 	for _, e := range events {

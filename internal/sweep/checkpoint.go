@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkpointVersion guards the on-disk format; a bumped version means old
+// checkpoints are skipped at Resume rather than misread.
+const checkpointVersion = 1
+
+// checkpoint is a sweep job's durable state — everything needed to finish
+// the job bit-identically in another process. See DESIGN §sweep.
+type checkpoint struct {
+	Version int    `json:"version"`
+	ID      string `json:"id"`
+	Spec    Spec   `json:"spec"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+	// ScenarioIndex and Cursor locate the resume point: the next
+	// candidate-window index within Spec.Scenarios[ScenarioIndex].
+	ScenarioIndex int `json:"scenario_index"`
+	Cursor        int `json:"cursor"`
+	// CountedScenario is the highest scenario index already folded into
+	// Counters; resumes must not re-count a scenario's window totals.
+	CountedScenario int      `json:"counted_scenario"`
+	Counters        Counters `json:"counters"`
+	// Raw holds the current scenario's pre-merge hits (cleared once the
+	// scenario merges); Hits and Summaries accumulate finished scenarios.
+	Raw       []Hit             `json:"raw_hits,omitempty"`
+	Hits      []Hit             `json:"hits"`
+	Summaries []ScenarioSummary `json:"per_scenario,omitempty"`
+}
+
+func checkpointPath(dir, id string) string {
+	return filepath.Join(dir, id+".json")
+}
+
+func checkpointExists(dir, id string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(checkpointPath(dir, id))
+	return err == nil
+}
+
+// save writes the checkpoint atomically (tmp + rename), so a crash mid-
+// write leaves the previous checkpoint intact.
+func (ck *checkpoint) save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	path := checkpointPath(dir, ck.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpoints reads every checkpoint in dir, oldest job ID first.
+// Unreadable or version-mismatched files are skipped, not fatal — one
+// corrupt checkpoint must not block the rest from resuming.
+func loadCheckpoints(dir string) ([]*checkpoint, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cks []*checkpoint
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var ck checkpoint
+		if json.Unmarshal(buf, &ck) != nil || ck.Version != checkpointVersion || ck.ID == "" {
+			continue
+		}
+		if ck.ID != strings.TrimSuffix(name, ".json") {
+			continue
+		}
+		cks = append(cks, &ck)
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].ID < cks[j].ID })
+	return cks, nil
+}
+
+// removeCheckpoint deletes a job's checkpoint file (used by DELETE once a
+// canceled job's state has been acknowledged, and by tests).
+func removeCheckpoint(dir, id string) error {
+	if dir == "" {
+		return nil
+	}
+	err := os.Remove(checkpointPath(dir, id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: remove checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,593 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drainnet/internal/hydro"
+	"drainnet/internal/metrics"
+	"drainnet/internal/model"
+	"drainnet/internal/serve/batcher"
+	"drainnet/internal/telemetry"
+	"drainnet/internal/tensor"
+	"drainnet/internal/terrain"
+)
+
+// Submitter is the inference backend a sweep streams clips through.
+// *batcher.Pool satisfies it; tests substitute deterministic stubs.
+type Submitter interface {
+	Submit(ctx context.Context, x *tensor.Tensor) (metrics.Detection, error)
+}
+
+// Cancellation causes distinguishing a user cancel (job ends in state
+// canceled) from a graceful drain (job stays running in its checkpoint
+// and resumes on the next start).
+var (
+	errCanceled = errors.New("sweep: job canceled")
+	errDrain    = errors.New("sweep: server draining")
+)
+
+// ManagerOptions configures a job manager.
+type ManagerOptions struct {
+	// Submit is the serving pool clips flow through (required).
+	Submit Submitter
+	// Bands is the served model's input band count; sweeps render
+	// terrain.NumBands-band imagery, so anything else refuses jobs.
+	Bands int
+	// DefaultWindow is the served model's training clip size — the
+	// Spec.Window default.
+	DefaultWindow int
+	// Precision names the pool's serving precision; specs pinning a
+	// different one are rejected ("" skips the check).
+	Precision string
+	// Dir is the checkpoint directory; "" disables persistence (jobs die
+	// with the process).
+	Dir string
+	// Telemetry receives sweep throughput metrics (nil → disabled).
+	Telemetry *telemetry.Telemetry
+	// Concurrency bounds in-flight Submits per job (default 16): high
+	// enough to keep batches full, low enough to leave queue headroom for
+	// interactive /v1/detect traffic.
+	Concurrency int
+}
+
+func (o ManagerOptions) withDefaults() ManagerOptions {
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.NewDisabled()
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	return o
+}
+
+// Manager owns sweep jobs: it starts them, serves status and paginated
+// results, cancels, checkpoints through graceful drains, and resumes
+// unfinished jobs from the checkpoint directory. Safe for concurrent use.
+type Manager struct {
+	opts ManagerOptions
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+	closed bool
+	wg     sync.WaitGroup
+
+	windows  *telemetry.CounterVec
+	inferred *telemetry.Counter
+	jobsBy   *telemetry.CounterVec
+	active   *telemetry.Gauge
+}
+
+// NewManager creates a manager. Call Resume to pick up checkpointed jobs
+// from a previous process, and Close before the pool it submits to.
+func NewManager(opts ManagerOptions) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.Submit == nil {
+		return nil, errors.New("sweep: ManagerOptions.Submit is required")
+	}
+	if opts.Bands != 0 && opts.Bands != terrain.NumBands {
+		return nil, fmt.Errorf("sweep: served model takes %d bands; sweeps render %d-band imagery", opts.Bands, terrain.NumBands)
+	}
+	if opts.DefaultWindow < 8 {
+		return nil, fmt.Errorf("sweep: default window %d too small", opts.DefaultWindow)
+	}
+	reg := opts.Telemetry.Registry()
+	m := &Manager{
+		opts: opts,
+		jobs: make(map[string]*Job),
+		windows: reg.CounterVec("drainnet_sweep_windows_total",
+			"Sweep windows enumerated, by prior outcome (candidate or skipped).", "result"),
+		inferred: reg.Counter("drainnet_sweep_clips_inferred_total",
+			"Candidate clips that went through the serving pool."),
+		jobsBy: reg.CounterVec("drainnet_sweep_jobs_total",
+			"Sweep jobs, by lifecycle event (started, resumed, done, canceled, failed).", "event"),
+		active: reg.Gauge("drainnet_sweep_active_jobs",
+			"Sweep jobs currently running."),
+	}
+	return m, nil
+}
+
+// Start validates the spec, assigns a job ID, and launches the sweep.
+func (m *Manager) Start(spec Spec) (*Job, error) {
+	spec = spec.WithDefaults(m.opts.DefaultWindow)
+	if err := spec.Validate(m.opts.Precision); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("sweep: manager closed")
+	}
+	id := m.nextIDLocked()
+	j := newJob(m, id, spec)
+	m.register(j)
+	m.launchLocked(j, "started")
+	return j, nil
+}
+
+// nextIDLocked allocates a job ID unique within this manager and its
+// checkpoint directory.
+func (m *Manager) nextIDLocked() string {
+	for {
+		m.seq++
+		id := fmt.Sprintf("sw-%d-%03d", time.Now().Unix(), m.seq)
+		if _, taken := m.jobs[id]; !taken && !checkpointExists(m.opts.Dir, id) {
+			return id
+		}
+	}
+}
+
+func (m *Manager) register(j *Job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+}
+
+func (m *Manager) launchLocked(j *Job, event string) {
+	m.jobsBy.With(event).Inc()
+	m.active.Add(1)
+	m.wg.Add(1)
+	go j.run()
+}
+
+// Resume loads every checkpoint in the manager's directory: finished jobs
+// register for status/results lookups, unfinished ones relaunch from
+// their cursor. It returns the number of jobs relaunched.
+func (m *Manager) Resume() (int, error) {
+	if m.opts.Dir == "" {
+		return 0, nil
+	}
+	cks, err := loadCheckpoints(m.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resumed := 0
+	for _, ck := range cks {
+		if m.closed {
+			break
+		}
+		if _, taken := m.jobs[ck.ID]; taken {
+			continue
+		}
+		j := jobFromCheckpoint(m, ck)
+		m.register(j)
+		if ck.State == StateRunning {
+			m.launchLocked(j, "resumed")
+			resumed++
+		}
+	}
+	return resumed, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in creation order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Close drains the manager: running jobs checkpoint at their next chunk
+// boundary and stop, still marked running so Resume picks them up. Close
+// must precede the submitter pool's Close.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel(errDrain)
+	}
+	m.wg.Wait()
+}
+
+// Job is one sweep in flight (or finished). All accessors are safe for
+// concurrent use with the runner goroutine.
+type Job struct {
+	m    *Manager
+	id   string
+	spec Spec
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	mu          sync.Mutex
+	state       string
+	phase       string
+	scenario    string
+	scenarioIdx int
+	cursor      int
+	// counted is the highest scenario index whose window totals are
+	// already in counters (-1 before the first), persisted so resumes
+	// never double-count.
+	counted int
+	counters    Counters
+	raw         []Hit
+	hits        []Hit
+	summaries   []ScenarioSummary
+	errMsg      string
+
+	// procStart/procInferred measure throughput since this process picked
+	// the job up (resumes restart the clock, not the counters).
+	procStart    time.Time
+	procInferred atomic.Int64
+}
+
+// Counters is the cumulative window accounting a job checkpoint carries.
+type Counters struct {
+	Windows    int `json:"windows"`
+	Candidates int `json:"candidates"`
+	Skipped    int `json:"skipped"`
+	Inferred   int `json:"inferred"`
+}
+
+func newJob(m *Manager, id string, spec Spec) *Job {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &Job{
+		m: m, id: id, spec: spec,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		state: StateRunning, counted: -1, procStart: time.Now(),
+	}
+}
+
+func jobFromCheckpoint(m *Manager, ck *checkpoint) *Job {
+	j := newJob(m, ck.ID, ck.Spec)
+	j.state = ck.State
+	j.errMsg = ck.Error
+	j.scenarioIdx = ck.ScenarioIndex
+	j.counted = ck.CountedScenario
+	j.cursor = ck.Cursor
+	j.counters = ck.Counters
+	j.raw = ck.Raw
+	j.hits = ck.Hits
+	j.summaries = ck.Summaries
+	if ck.State != StateRunning {
+		close(j.done)
+	}
+	return j
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the resolved job spec.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Done is closed when the job reaches a terminal state (or pauses for a
+// drain). Primarily for tests and the CLI.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel stops the job; its checkpoint records state canceled so it does
+// not resume. Canceling a finished job is a no-op.
+func (j *Job) Cancel() { j.cancel(errCanceled) }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:             j.id,
+		State:          j.state,
+		Phase:          j.phase,
+		Scenario:       j.scenario,
+		ScenariosDone:  len(j.summaries),
+		ScenariosTotal: len(j.spec.Scenarios),
+		Windows:        j.counters.Windows,
+		Candidates:     j.counters.Candidates,
+		Skipped:        j.counters.Skipped,
+		Inferred:       j.counters.Inferred,
+		Hits:           len(j.hits),
+		Checkpointed:   j.m.opts.Dir != "",
+		Error:          j.errMsg,
+		PerScenario:    append([]ScenarioSummary(nil), j.summaries...),
+	}
+	if st.Windows > 0 {
+		st.SkipRate = float64(st.Skipped) / float64(st.Windows)
+	}
+	if n := j.procInferred.Load(); n > 0 {
+		if dt := time.Since(j.procStart).Seconds(); dt > 0 {
+			st.ClipsPerSec = float64(n) / dt
+		}
+	}
+	return st
+}
+
+// Results returns one page of merged hits starting at cursor. next is
+// the cursor of the following page, or -1 when this page is final (at
+// the current hit count — a running job may still append).
+func (j *Job) Results(cursor, limit int) (page []Hit, next int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(j.hits) {
+		cursor = len(j.hits)
+	}
+	end := len(j.hits)
+	if limit > 0 && cursor+limit < end {
+		end = cursor + limit
+	}
+	page = append([]Hit(nil), j.hits[cursor:end]...)
+	if end < len(j.hits) {
+		return page, end
+	}
+	return page, -1
+}
+
+// run is the job goroutine: sweep scenario by scenario, checkpointing
+// after every chunk, and settle the terminal (or drained) state.
+func (j *Job) run() {
+	defer j.m.wg.Done()
+	defer close(j.done)
+	defer j.m.active.Add(-1)
+	err := j.sweep()
+	j.mu.Lock()
+	j.phase = ""
+	j.scenario = ""
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.m.jobsBy.With(StateDone).Inc()
+	case errors.Is(err, errDrain) || errors.Is(context.Cause(j.ctx), errDrain):
+		// Stay running in the checkpoint; Resume continues the sweep.
+	case errors.Is(err, errCanceled) || errors.Is(context.Cause(j.ctx), errCanceled):
+		j.state = StateCanceled
+		j.m.jobsBy.With(StateCanceled).Inc()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.m.jobsBy.With(StateFailed).Inc()
+	}
+	j.saveLocked()
+	j.mu.Unlock()
+}
+
+func (j *Job) setPhase(phase string) {
+	j.mu.Lock()
+	j.phase = phase
+	j.mu.Unlock()
+}
+
+func (j *Job) sweep() error {
+	for si := j.scenarioIdx; si < len(j.spec.Scenarios); si++ {
+		sc, err := terrain.ScenarioByName(j.spec.Scenarios[si])
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.scenarioIdx = si
+		j.scenario = sc.Name
+		j.phase = "generate"
+		j.mu.Unlock()
+
+		w, err := terrain.Generate(j.spec.terrainConfig(sc))
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		j.setPhase("render")
+		img := terrain.RenderScenario(w, sc)
+		j.setPhase("extract")
+		cands, total := candidateWindows(w, j.spec)
+
+		j.mu.Lock()
+		if j.counted < si {
+			// The counted watermark (not cursor==0) gates the addition: a
+			// drain can checkpoint after this point but before the first
+			// chunk advances the cursor, and a mid-scenario resume must not
+			// count the scenario's windows twice.
+			j.counted = si
+			j.counters.Windows += total
+			j.counters.Candidates += len(cands)
+			j.counters.Skipped += total - len(cands)
+			j.m.windows.With("candidate").Add(uint64(len(cands)))
+			j.m.windows.With("skipped").Add(uint64(total - len(cands)))
+		}
+		j.phase = "infer"
+		cursor := j.cursor
+		j.mu.Unlock()
+
+		for lo := cursor; lo < len(cands); lo += j.spec.CheckpointEvery {
+			hi := minInt(lo+j.spec.CheckpointEvery, len(cands))
+			hits, err := j.inferChunk(img, w.Cfg.Rows, w.Cfg.Cols, cands[lo:hi])
+			if err != nil {
+				return err
+			}
+			j.mu.Lock()
+			j.raw = append(j.raw, hits...)
+			j.cursor = hi
+			j.counters.Inferred += hi - lo
+			j.saveLocked()
+			j.mu.Unlock()
+			j.m.inferred.Add(uint64(hi - lo))
+			j.procInferred.Add(int64(hi - lo))
+		}
+
+		j.setPhase("merge")
+		j.mu.Lock()
+		merged := mergeHits(sc.Name, j.raw, j.spec.MergeRadius)
+		sum := scoreScenario(sc.Name, merged, w.Crossings, total, len(cands), j.spec.MatchRadius)
+		j.hits = append(j.hits, merged...)
+		j.summaries = append(j.summaries, sum)
+		j.raw = nil
+		j.cursor = 0
+		j.scenarioIdx = si + 1
+		j.saveLocked()
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// inferChunk runs one chunk of candidate windows through the pool with
+// bounded concurrency and returns the confident raw hits in window order
+// (deterministic regardless of completion order). Queue-full rejections
+// back off and retry — the sweep is the background producer and must
+// yield to interactive traffic.
+func (j *Job) inferChunk(img *tensor.Tensor, rows, cols int, wins []window) ([]Hit, error) {
+	type slot struct {
+		det metrics.Detection
+		err error
+	}
+	out := make([]slot, len(wins))
+	var next atomic.Int64
+	workers := minInt(j.m.opts.Concurrency, len(wins))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(wins) {
+					return
+				}
+				clip := terrain.Clip(img, wins[i].r0, wins[i].c0, j.spec.Window)
+				x := tensor.FromSlice(clip.Data(), 1, terrain.NumBands, j.spec.Window, j.spec.Window)
+				out[i] = j.submitWithRetry(x)
+				if out[i].err != nil {
+					j.cancelChunk(out[i].err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := context.Cause(j.ctx); err != nil {
+		return nil, err
+	}
+	var hits []Hit
+	for i, s := range out {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.det.Score < j.spec.MinScore {
+			continue
+		}
+		r := wins[i].r0 + int(s.det.Box.CY*float64(j.spec.Window))
+		c := wins[i].c0 + int(s.det.Box.CX*float64(j.spec.Window))
+		hits = append(hits, Hit{Row: minInt(r, rows-1), Col: minInt(c, cols-1), Score: s.det.Score})
+	}
+	return hits, nil
+}
+
+// cancelChunk aborts the remaining submissions of a failed chunk without
+// disturbing a drain/cancel cause already recorded on the context.
+func (j *Job) cancelChunk(err error) {
+	if context.Cause(j.ctx) == nil {
+		j.cancel(err)
+	}
+}
+
+func (j *Job) submitWithRetry(x *tensor.Tensor) (s struct {
+	det metrics.Detection
+	err error
+}) {
+	for {
+		s.det, s.err = j.m.opts.Submit.Submit(j.ctx, x)
+		if !errors.Is(s.err, batcher.ErrQueueFull) {
+			if s.err != nil && j.ctx.Err() != nil {
+				s.err = context.Cause(j.ctx)
+			}
+			if errors.Is(s.err, batcher.ErrClosed) {
+				// The pool is draining under us; treat like a drain so the
+				// checkpoint stays resumable.
+				s.err = errDrain
+			}
+			return s
+		}
+		select {
+		case <-j.ctx.Done():
+			s.err = context.Cause(j.ctx)
+			return s
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// mergeHits non-maximum-suppresses raw hits and tags them with the
+// scenario, keeping the score-descending order SuppressHits yields.
+func mergeHits(scenario string, raw []Hit, radius int) []Hit {
+	scan := make([]model.ScanHit, len(raw))
+	for i, h := range raw {
+		scan[i] = model.ScanHit{Point: hydro.Point{R: h.Row, C: h.Col}, Score: h.Score}
+	}
+	kept := model.SuppressHits(scan, radius)
+	out := make([]Hit, len(kept))
+	for i, h := range kept {
+		out[i] = Hit{Scenario: scenario, Row: h.Point.R, Col: h.Point.C, Score: h.Score}
+	}
+	return out
+}
+
+// saveLocked checkpoints the job's current state; the caller holds j.mu.
+// Persistence failures are recorded on the job rather than killing it —
+// the sweep itself can still finish.
+func (j *Job) saveLocked() {
+	if j.m.opts.Dir == "" {
+		return
+	}
+	ck := &checkpoint{
+		Version:       checkpointVersion,
+		ID:            j.id,
+		Spec:          j.spec,
+		State:         j.state,
+		Error:         j.errMsg,
+		ScenarioIndex:   j.scenarioIdx,
+		CountedScenario: j.counted,
+		Cursor:        j.cursor,
+		Counters:      j.counters,
+		Raw:           j.raw,
+		Hits:          j.hits,
+		Summaries:     j.summaries,
+	}
+	if err := ck.save(j.m.opts.Dir); err != nil && j.errMsg == "" {
+		j.errMsg = fmt.Sprintf("checkpoint not saved: %v", err)
+	}
+}

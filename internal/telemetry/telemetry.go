@@ -156,6 +156,18 @@ func (t *Telemetry) Registry() *Registry { return t.reg }
 // Enabled reports whether the span pipeline is running.
 func (t *Telemetry) Enabled() bool { return t.events != nil }
 
+// QueueWaitQuantile estimates the q-th quantile of observed request
+// queue-wait time in seconds. ok is false until at least one request has
+// been through the queue — callers should fall back to a static guess.
+// This feeds live Retry-After guidance on 429 responses.
+func (t *Telemetry) QueueWaitQuantile(q float64) (secs float64, ok bool) {
+	s := t.queueWait.Snapshot()
+	if s.Count == 0 {
+		return 0, false
+	}
+	return s.Quantile(q), true
+}
+
 // NextRequestID allocates a process-unique request ID (starting at 1).
 func (t *Telemetry) NextRequestID() uint64 { return t.reqID.Add(1) }
 
