@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
-        test-race-fastpath test-race-ios test-race-sweep smoke-sweep check-allocs \
+        test-race-fastpath test-race-ios test-race-sweep test-race-cluster \
+        smoke-sweep smoke-cluster bench-cluster check-allocs \
         bench bench-serve bench-telemetry bench-inference bench-ios test-short \
         bench-fast experiments experiments-train examples renders clean
 
@@ -12,9 +13,10 @@ all: build vet test
 # The gate for every change: build, vet, full tests, race-checked passes
 # over the concurrent paths (batcher + HTTP layer + telemetry + the
 # inference fast path's shared worker pool + the IOS stage executor +
-# the sweep job runner), the sweep kill-and-resume smoke, and the
+# the sweep job runner + the cluster router/supervisor), the sweep
+# kill-and-resume smoke, the cluster kill-under-load smoke, and the
 # zero-allocation regression guards on both serving forwards.
-check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep smoke-sweep check-allocs
+check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep test-race-cluster smoke-sweep smoke-cluster check-allocs
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
@@ -28,6 +30,32 @@ test-race-sweep:
 # real batcher pool), resume it, and require bit-identical results.
 smoke-sweep:
 	$(GO) test -race -count=1 -run 'TestKillAndResume|TestSweepSurvivesServerRestart' ./internal/sweep/ ./internal/serve/
+
+# Cluster router, supervisor, admission and the adaptive batching
+# controller under the race detector (in-process fake workers).
+test-race-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/
+
+# Cluster kill-under-load smoke against real processes: a router over 2
+# drainnet-serve workers, SIGKILL one mid-load (zero interactive request
+# loss required), then SIGTERM drain (exit 0, no orphan workers).
+smoke-cluster:
+	$(GO) build -o /tmp/drainnet-smoke-bin/drainnet-serve ./cmd/drainnet-serve
+	$(GO) build -o /tmp/drainnet-smoke-bin/drainnet-router ./cmd/drainnet-router
+	$(GO) run ./cmd/drainnet-load -smoke \
+	    -router-bin /tmp/drainnet-smoke-bin/drainnet-router \
+	    -serve-bin /tmp/drainnet-smoke-bin/drainnet-serve
+
+# Full cluster protocol -> BENCH_cluster.json: uncontended baseline,
+# 10x-capacity bulk overload (interactive p99 must hold within 2x,
+# bulk must shed with 429+Retry-After), worker kill under load (zero
+# loss + respawn), SIGTERM drain (exit 0, no orphans).
+bench-cluster:
+	$(GO) build -o /tmp/drainnet-bench-bin/drainnet-serve ./cmd/drainnet-serve
+	$(GO) build -o /tmp/drainnet-bench-bin/drainnet-router ./cmd/drainnet-router
+	$(GO) run ./cmd/drainnet-load -bench -out BENCH_cluster.json \
+	    -router-bin /tmp/drainnet-bench-bin/drainnet-router \
+	    -serve-bin /tmp/drainnet-bench-bin/drainnet-serve
 
 test-race-telemetry:
 	$(GO) test -race ./internal/telemetry/...

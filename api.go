@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"drainnet/internal/baseline"
+	"drainnet/internal/cluster"
 	"drainnet/internal/export"
 	"drainnet/internal/gpu"
 	"drainnet/internal/graph"
@@ -462,6 +463,46 @@ type GeoPoint = export.PointFeature
 // of Point features (coordinates are [col, row]).
 func WriteCrossingsGeoJSON(w io.Writer, points []GeoPoint) error {
 	return export.WriteGeoJSON(w, points)
+}
+
+// ---- Cluster-mode serving (router over N worker processes) ----
+
+// ClusterRouter fronts a supervised fleet of drainnet-serve worker
+// processes: least-loaded routing with transparent retry, priority-class
+// admission control (interactive over bulk), crash respawn with backoff,
+// SIGTERM drain propagation, and an optional adaptive batching
+// controller retuning workers from live latency quantiles.
+type ClusterRouter = cluster.Router
+
+// RouterConfig configures a ClusterRouter: worker count, spawn function,
+// admission policy, adaptive batching, retry and drain budgets.
+type RouterConfig = cluster.Config
+
+// WorkerState is one supervised worker slot's lifecycle position:
+// starting, ready, draining, or down.
+type WorkerState = cluster.WorkerState
+
+// WorkerStatus is one worker's status snapshot (GET /v1/cluster).
+type WorkerStatus = cluster.WorkerStatus
+
+// AdmissionPolicy bounds each priority class's concurrent admitted
+// requests; the bulk budget shrinks as interactive occupancy rises
+// (AdmissionPolicy.EffectiveBulkLimit), so overload sheds bulk first.
+type AdmissionPolicy = cluster.AdmissionPolicy
+
+// AutoBatchConfig configures the adaptive batching controller; see
+// cluster.NextTuning for the control law.
+type AutoBatchConfig = cluster.AutoBatchConfig
+
+// NewClusterRouter starts the router: spawns the fleet and begins
+// supervision. Serve ClusterRouter.Handler over HTTP; drain with
+// ClusterRouter.BeginDrain then ClusterRouter.Close.
+func NewClusterRouter(cfg RouterConfig) (*ClusterRouter, error) { return cluster.New(cfg) }
+
+// ExecWorkerStart returns a RouterConfig.Start that spawns bin (a
+// drainnet-serve binary) with baseArgs plus per-slot -addr/-worker-id.
+func ExecWorkerStart(bin string, baseArgs []string) cluster.StartFunc {
+	return cluster.ExecStart(bin, baseArgs)
 }
 
 // ---- Telemetry (serving observability) ----

@@ -12,6 +12,8 @@
 //	GET    /v1/stats              queue depth, batch histogram, latency quantiles
 //	GET    /v1/metrics            Prometheus text exposition (?format=json)
 //	GET    /v1/trace              most recent sampled request as Chrome trace
+//	GET    /v1/healthz            readiness (503 while draining)
+//	POST   /v1/control/batching   retune effective max-batch/max-wait live
 //	GET    /healthz               liveness
 //	GET    /debug/pprof/*         Go profiling endpoints (only with -pprof)
 //
@@ -53,6 +55,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -84,6 +87,7 @@ func main() {
 	quantMaxDrop := flag.Float64("quant-max-ap-drop", 0.01, "accuracy gate epsilon: largest tolerated AP drop (fp32 AP − int8 AP) on the held-out split before int8 is refused")
 	sweepDir := flag.String("sweep-dir", "", "checkpoint directory for /v1/sweep jobs (empty = jobs die with the process); unfinished jobs in it resume at startup")
 	sweepConc := flag.Int("sweep-concurrency", 0, "max in-flight pool submissions per sweep job (0 = default 16)")
+	workerID := flag.Int("worker-id", -1, "cluster worker slot id; labels every metric with worker=<id> (-1 = standalone)")
 	flag.Parse()
 
 	precision, err := model.ParsePrecision(*precisionFlag)
@@ -160,6 +164,9 @@ func main() {
 		if *traceDir != "" {
 			topts.TraceSink = telemetry.FileSink(*traceDir)
 		}
+		if *workerID >= 0 {
+			topts.ConstLabels = map[string]string{"worker": strconv.Itoa(*workerID)}
+		}
 		tel = telemetry.New(topts)
 	} else {
 		tel = telemetry.NewDisabled()
@@ -211,9 +218,9 @@ func main() {
 	popts := srv.Pool().Options()
 	// One structured line with the full resolved configuration, so a log
 	// scraper (or a human) sees every serving knob in one place.
-	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t sweep_dir=%q\n",
+	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t sweep_dir=%q sweep_concurrency=%d worker_id=%d\n",
 		cfg.Name, *addr, runtime.GOMAXPROCS(0), served, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
-		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn, *sweepDir)
+		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn, *sweepDir, *sweepConc, *workerID)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -228,8 +235,10 @@ func main() {
 		fmt.Printf("level=info msg=draining signal=%v\n", s)
 	}
 
-	// Stop accepting connections, finish in-flight HTTP exchanges, then
-	// drain the inference pool (queued requests are still served).
+	// Flip readiness first so a router stops sending new work, stop
+	// accepting connections, finish in-flight HTTP exchanges, then drain
+	// the inference pool (queued requests are still served).
+	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

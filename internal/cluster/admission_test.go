@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		header string
+		want   Class
+	}{
+		{"detect is interactive", http.MethodPost, "/v1/detect", "", ClassInteractive},
+		{"detect batch is interactive", http.MethodPost, "/v1/detect/batch", "", ClassInteractive},
+		{"sweep create is bulk", http.MethodPost, "/v1/sweep", "", ClassBulk},
+		{"sweep status is bulk", http.MethodGet, "/v1/sweep/abc123", "", ClassBulk},
+		{"metrics is interactive", http.MethodGet, "/v1/metrics", "", ClassInteractive},
+		{"header demotes detect to bulk", http.MethodPost, "/v1/detect", "bulk", ClassBulk},
+		{"header is case-insensitive", http.MethodPost, "/v1/detect", "BULK", ClassBulk},
+		{"unknown header value ignored", http.MethodPost, "/v1/detect", "gold", ClassInteractive},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest(tc.method, tc.path, nil)
+			if tc.header != "" {
+				r.Header.Set(ClassHeader, tc.header)
+			}
+			if got := classify(r); got != tc.want {
+				t.Fatalf("classify(%s %s header=%q) = %v, want %v", tc.method, tc.path, tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEffectiveBulkLimit(t *testing.T) {
+	pol := AdmissionPolicy{MaxInteractive: 100, MaxBulk: 40}
+	cases := []struct {
+		interactive int
+		want        int
+	}{
+		{0, 40},    // idle: full bulk budget
+		{-5, 40},   // defensive: negative treated as idle
+		{25, 30},   // 75% headroom → 30
+		{50, 20},   // half loaded → half budget
+		{75, 10},   // 25% headroom → 10
+		{99, 0},    // 1% headroom of 40 rounds down to 0
+		{100, 0},   // saturated: bulk fully shed
+		{1000, 0},  // over-saturated stays 0
+	}
+	for _, tc := range cases {
+		if got := pol.EffectiveBulkLimit(tc.interactive); got != tc.want {
+			t.Errorf("EffectiveBulkLimit(%d) = %d, want %d", tc.interactive, got, tc.want)
+		}
+	}
+}
+
+func TestAdmissionAcquire(t *testing.T) {
+	a := &admission{pol: AdmissionPolicy{MaxInteractive: 2, MaxBulk: 2}}
+
+	rel1, ok := a.acquire(ClassInteractive)
+	if !ok {
+		t.Fatal("first interactive acquire refused")
+	}
+	if _, ok := a.acquire(ClassInteractive); !ok {
+		t.Fatal("second interactive acquire refused under budget")
+	}
+	if _, ok := a.acquire(ClassInteractive); ok {
+		t.Fatal("third interactive acquire admitted over budget")
+	}
+	// Interactive is saturated → effective bulk limit is zero.
+	if _, ok := a.acquire(ClassBulk); ok {
+		t.Fatal("bulk admitted while interactive is saturated")
+	}
+	// Releasing interactive restores bulk headroom (1/2 occupancy → limit 1).
+	rel1()
+	relB, ok := a.acquire(ClassBulk)
+	if !ok {
+		t.Fatal("bulk refused with interactive headroom available")
+	}
+	if _, ok := a.acquire(ClassBulk); ok {
+		t.Fatal("bulk admitted past its shrunken effective limit")
+	}
+	relB()
+
+	inter, bulk := a.occupancy()
+	if inter != 1 || bulk != 0 {
+		t.Fatalf("occupancy = (%d, %d), want (1, 0)", inter, bulk)
+	}
+}
+
+func TestAdmissionPolicyDefaults(t *testing.T) {
+	pol := AdmissionPolicy{}.withDefaults(3)
+	if pol.MaxInteractive != 192 || pol.MaxBulk != 6 {
+		t.Fatalf("defaults for 3 workers = %+v, want MaxInteractive=192 MaxBulk=6", pol)
+	}
+	keep := AdmissionPolicy{MaxInteractive: 7, MaxBulk: 3}.withDefaults(3)
+	if keep.MaxInteractive != 7 || keep.MaxBulk != 3 {
+		t.Fatalf("explicit policy overridden: %+v", keep)
+	}
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"log"
+	"math"
+	"time"
+)
+
+// AutoBatchConfig configures the adaptive batching controller: instead
+// of serving forever with the static -max-batch/-max-wait flags each
+// worker started with, the router retunes every worker's *effective*
+// knobs from its live latency quantiles (the §6.4 trade-off, closed-
+// loop). The zero value disables the controller.
+type AutoBatchConfig struct {
+	// Enabled turns the controller on.
+	Enabled bool
+	// Interval is the control period (default 1s).
+	Interval time.Duration
+	// TargetP95 is the per-worker request-latency SLO the controller
+	// steers to (default 250ms).
+	TargetP95 time.Duration
+	// MinWait floors the retuned max-wait (default 200µs); the ceiling
+	// is the worker-side clamp (100ms).
+	MinWait time.Duration
+	// MaxWait caps the retuned max-wait (default 20ms).
+	MaxWait time.Duration
+}
+
+func (c AutoBatchConfig) withDefaults() AutoBatchConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.TargetP95 <= 0 {
+		c.TargetP95 = 250 * time.Millisecond
+	}
+	if c.MinWait <= 0 {
+		c.MinWait = 200 * time.Microsecond
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 20 * time.Millisecond
+	}
+	return c
+}
+
+// BatchTuning is one worker's effective batching knobs.
+type BatchTuning struct {
+	MaxBatch int
+	MaxWait  time.Duration
+}
+
+// BatchObs is what the controller sees of one worker at a control tick,
+// all read from the worker's own /v1/metrics scrape.
+type BatchObs struct {
+	// P95 is the request-latency p95 in seconds; OK is false until the
+	// worker has served enough to estimate it.
+	P95 float64
+	OK  bool
+	// QueueDepth is the scraped drainnet_queue_depth gauge — demand
+	// waiting for bigger batches.
+	QueueDepth int64
+	// MaxBatchCeiling is the worker's configured -max-batch (the clamp
+	// the worker enforces on retunes).
+	MaxBatchCeiling int
+}
+
+// NextTuning is the control law, pure so it table-tests directly.
+// Multiplicative decrease, additive increase:
+//
+//   - p95 over target → halve both knobs: smaller batches and shorter
+//     waits cut queueing delay the fastest.
+//   - p95 under half the target with queued demand → one more clip per
+//     batch and 50% more wait: grow throughput while latency headroom
+//     is provable.
+//   - otherwise (in the comfort band, or no demand) → hold.
+//
+// Bounds: MaxBatch ∈ [1, ceiling], MaxWait ∈ [MinWait, MaxWait].
+func NextTuning(cur BatchTuning, obs BatchObs, cfg AutoBatchConfig) BatchTuning {
+	cfg = cfg.withDefaults()
+	next := cur
+	if !obs.OK {
+		return clampTuning(next, obs, cfg)
+	}
+	target := cfg.TargetP95.Seconds()
+	switch {
+	case obs.P95 > target:
+		next.MaxBatch = cur.MaxBatch / 2
+		next.MaxWait = cur.MaxWait / 2
+	case obs.P95 < target/2 && obs.QueueDepth > 0:
+		next.MaxBatch = cur.MaxBatch + 1
+		next.MaxWait = cur.MaxWait * 3 / 2
+		if next.MaxWait < cfg.MinWait*2 {
+			next.MaxWait = cfg.MinWait * 2
+		}
+	}
+	return clampTuning(next, obs, cfg)
+}
+
+func clampTuning(t BatchTuning, obs BatchObs, cfg AutoBatchConfig) BatchTuning {
+	ceil := obs.MaxBatchCeiling
+	if ceil <= 0 {
+		ceil = math.MaxInt32
+	}
+	if t.MaxBatch > ceil {
+		t.MaxBatch = ceil
+	}
+	if t.MaxBatch < 1 {
+		t.MaxBatch = 1
+	}
+	if t.MaxWait > cfg.MaxWait {
+		t.MaxWait = cfg.MaxWait
+	}
+	if t.MaxWait < cfg.MinWait {
+		t.MaxWait = cfg.MinWait
+	}
+	return t
+}
+
+// runAutoBatch is the router's control loop: each tick, derive every
+// ready worker's observation from its latest scrape and push a retune
+// when the law moves the knobs.
+func (rt *Router) runAutoBatch() {
+	defer rt.loopsWG.Done()
+	cfg := rt.cfg.AutoBatch.withDefaults()
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-tick.C:
+		}
+		for _, w := range rt.sup.workers {
+			if !w.routable() {
+				continue
+			}
+			cur := BatchTuning{
+				MaxBatch: int(w.curMaxBatch.Load()),
+				MaxWait:  time.Duration(w.curMaxWaitUs.Load()) * time.Microsecond,
+			}
+			p95 := float64FromBits(w.latencyP95.Load())
+			obs := BatchObs{
+				P95:             p95,
+				OK:              p95 > 0,
+				QueueDepth:      w.queueDepth.Load(),
+				MaxBatchCeiling: int(w.maxBatchCeil.Load()),
+			}
+			next := NextTuning(cur, obs, cfg)
+			if next == cur {
+				continue
+			}
+			_, _, client := w.snapshot()
+			mb, mw, err := client.retune(next.MaxBatch, next.MaxWait)
+			if err != nil {
+				log.Printf("level=warn msg=retune_failed worker=%d err=%q", w.id, err)
+				continue
+			}
+			w.curMaxBatch.Store(int64(mb))
+			w.curMaxWaitUs.Store(mw.Microseconds())
+			rt.retunes.Inc()
+			log.Printf("level=info msg=retune worker=%d p95_ms=%.2f queue=%d max_batch=%d max_wait=%v",
+				w.id, obs.P95*1e3, obs.QueueDepth, mb, mw)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drainnet/internal/telemetry"
+)
+
+// Router fronts a fleet of drainnet-serve workers: admission control by
+// priority class, least-loaded proxying with transparent retry, worker
+// supervision, and (optionally) the adaptive batching control loop.
+type Router struct {
+	cfg Config
+	sup *supervisor
+	adm *admission
+
+	draining atomic.Bool
+	stopCh   chan struct{}
+	loopsWG  sync.WaitGroup
+	closed   sync.Once
+
+	// inflightHTTP tracks requests inside the router handler so Close
+	// can drain them when the caller has no http.Server.Shutdown.
+	inflightHTTP sync.WaitGroup
+
+	tel      *telemetry.Telemetry
+	requests *telemetry.CounterVec // class, outcome
+	latency  *telemetry.HistogramVec
+	retries  *telemetry.Counter
+	retunes  *telemetry.Counter
+	shed     *telemetry.CounterVec // class
+	wInflight *telemetry.GaugeVec  // worker
+	wQueue    *telemetry.GaugeVec  // worker
+	wUp       *telemetry.GaugeVec  // worker
+}
+
+// New starts the router: spawns the worker fleet, begins health/metrics
+// scraping, and (when configured) the adaptive batching loop. It
+// returns immediately; workers come ready asynchronously and
+// /v1/healthz flips to 200 once at least one is routable.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Start == nil {
+		return nil, fmt.Errorf("cluster: Config.Start is required")
+	}
+	rt := &Router{cfg: cfg, stopCh: make(chan struct{}), tel: cfg.Telemetry}
+	reg := rt.tel.Registry()
+	rt.requests = reg.CounterVec("drainnet_router_requests_total",
+		"Requests through the router, by class and outcome.", "class", "outcome")
+	rt.latency = reg.HistogramVec("drainnet_router_request_seconds",
+		"Router-observed request latency (admission to response), by class.",
+		telemetry.TimeBuckets, "class")
+	rt.retries = reg.Counter("drainnet_router_retries_total",
+		"Requests transparently retried on another worker after a transport failure.")
+	rt.retunes = reg.Counter("drainnet_router_retunes_total",
+		"Adaptive batching retunes pushed to workers.")
+	rt.shed = reg.CounterVec("drainnet_router_shed_total",
+		"Requests shed by admission control, by class.", "class")
+	rt.wInflight = reg.GaugeVec("drainnet_worker_inflight",
+		"Router-held in-flight requests, by worker.", "worker")
+	rt.wQueue = reg.GaugeVec("drainnet_worker_queue_depth",
+		"Scraped worker queue depth, by worker.", "worker")
+	rt.wUp = reg.GaugeVec("drainnet_worker_up",
+		"Worker routability (ready and healthy), by worker.", "worker")
+	respawns := reg.Counter("drainnet_worker_respawns_total",
+		"Worker processes respawned after an unexpected exit.")
+
+	rt.sup = newSupervisor(cfg)
+	rt.sup.respawns = respawns
+	rt.sup.start()
+	rt.loopsWG.Add(1)
+	go rt.runScrape()
+	if cfg.AutoBatch.Enabled {
+		rt.loopsWG.Add(1)
+		go rt.runAutoBatch()
+	}
+	return rt, nil
+}
+
+// Workers returns a status snapshot of every worker slot.
+func (rt *Router) Workers() []WorkerStatus {
+	out := make([]WorkerStatus, 0, len(rt.sup.workers))
+	for _, w := range rt.sup.workers {
+		out = append(out, w.Status())
+	}
+	return out
+}
+
+// Telemetry exposes the router's observability hub.
+func (rt *Router) Telemetry() *telemetry.Telemetry { return rt.tel }
+
+// ReadyWorkers counts currently routable workers.
+func (rt *Router) ReadyWorkers() int {
+	n := 0
+	for _, w := range rt.sup.workers {
+		if w.routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// BeginDrain stops admitting new requests (healthz flips to 503,
+// proxying answers 503) while in-flight requests keep going. Call it
+// when the shutdown signal arrives, before the HTTP listener shuts down.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Close drains the cluster: stop admitting, wait for in-flight proxied
+// requests, SIGTERM every worker and wait for them to exit (escalating
+// to SIGKILL after DrainTimeout), then stop the control loops and the
+// router's telemetry. Idempotent.
+func (rt *Router) Close() {
+	rt.closed.Do(func() {
+		rt.BeginDrain()
+		rt.inflightHTTP.Wait()
+		rt.sup.shutdown()
+		close(rt.stopCh)
+		rt.loopsWG.Wait()
+		rt.tel.Close()
+	})
+}
+
+// runScrape is the health/metrics polling loop: every ScrapeInterval it
+// refreshes each ready worker's queue depth and latency quantiles from
+// /v1/metrics (three consecutive failures demote the worker until a
+// scrape succeeds again) and publishes the per-worker gauges.
+func (rt *Router) runScrape() {
+	defer rt.loopsWG.Done()
+	failures := make([]int, len(rt.sup.workers))
+	tick := time.NewTicker(rt.cfg.ScrapeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-tick.C:
+		}
+		for i, w := range rt.sup.workers {
+			label := strconv.Itoa(w.id)
+			up := 0.0
+			if w.routable() {
+				up = 1
+			}
+			rt.wUp.With(label).Set(up)
+			rt.wInflight.With(label).Set(float64(w.inflight.Load()))
+			if w.State() != WorkerReady {
+				continue
+			}
+			_, _, client := w.snapshot()
+			points, err := client.metrics()
+			if err != nil {
+				failures[i]++
+				if failures[i] >= 3 {
+					w.healthy.Store(false)
+				}
+				continue
+			}
+			failures[i] = 0
+			w.healthy.Store(true)
+			if depth, ok := gaugeValue(points, "drainnet_queue_depth"); ok {
+				w.queueDepth.Store(int64(depth))
+				rt.wQueue.With(label).Set(depth)
+			}
+			if p95, ok := histogramQuantile(points, "drainnet_request_latency_seconds", 0.95); ok {
+				w.latencyP95.Store(math.Float64bits(p95))
+			}
+		}
+	}
+}
+
+// ClusterStatus is the GET /v1/cluster body.
+type ClusterStatus struct {
+	Workers     []WorkerStatus `json:"workers"`
+	Ready       int            `json:"ready_workers"`
+	Draining    bool           `json:"draining"`
+	Interactive int64          `json:"interactive_inflight"`
+	Bulk        int64          `json:"bulk_inflight"`
+	Admission   AdmissionPolicy `json:"admission"`
+}
+
+// Handler returns the router's HTTP surface: the whole /v1 API proxied
+// across the fleet, plus the router's own control plane:
+//
+//	GET /healthz             router liveness
+//	GET /v1/healthz          router readiness (≥1 routable worker, not draining)
+//	GET /v1/cluster          fleet status (workers, states, pids, admission)
+//	GET /v1/cluster/metrics  router metrics (Prometheus; ?format=json)
+func (rt *Router) Handler() http.Handler {
+	if rt.adm == nil {
+		rt.adm = &admission{pol: rt.cfg.Admission}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ready := rt.ReadyWorkers() > 0 && !rt.draining.Load()
+		status, code := "ready", http.StatusOK
+		if !ready {
+			status, code = "draining", http.StatusServiceUnavailable
+			if !rt.draining.Load() {
+				status = "no_ready_workers"
+			}
+		}
+		writeJSON(w, code, map[string]any{"status": status, "ready_workers": rt.ReadyWorkers()})
+	})
+	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		inter, bulk := rt.adm.occupancy()
+		writeJSON(w, http.StatusOK, ClusterStatus{
+			Workers:     rt.Workers(),
+			Ready:       rt.ReadyWorkers(),
+			Draining:    rt.draining.Load(),
+			Interactive: inter,
+			Bulk:        bulk,
+			Admission:   rt.cfg.Admission,
+		})
+	})
+	mux.HandleFunc("/v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, map[string]any{"items": rt.tel.Registry().Snapshot()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = rt.tel.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/", rt.proxy)
+	return mux
+}
+
+// errorEnvelope mirrors the serve package's uniform error shape so a
+// client cannot tell a router-origin error from a worker-origin one.
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string, retryAfter string) {
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	writeJSON(w, status, map[string]any{"error": map[string]string{"code": code, "message": msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// retryable reports whether a request may be transparently re-sent to
+// another worker after a transport failure. Detection is a pure
+// function of the clip, so detect POSTs are idempotent; sweep POSTs
+// create jobs and must not be duplicated.
+func retryable(r *http.Request) bool {
+	if r.Method == http.MethodGet {
+		return true
+	}
+	return r.Method == http.MethodPost &&
+		(r.URL.Path == "/v1/detect" || r.URL.Path == "/v1/detect/batch")
+}
+
+// proxy is the data path: classify → admit (or shed) → pick the least-
+// loaded routable worker → forward, retrying idempotent requests on
+// another worker after transport failures.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	rt.inflightHTTP.Add(1)
+	defer rt.inflightHTTP.Done()
+	class := classify(r)
+	start := time.Now()
+	if rt.draining.Load() {
+		rt.requests.With(class.String(), "draining").Inc()
+		writeEnvelope(w, http.StatusServiceUnavailable, "unavailable", "router is draining", "")
+		return
+	}
+	release, ok := rt.adm.acquire(class)
+	if !ok {
+		rt.shed.With(class.String()).Inc()
+		rt.requests.With(class.String(), "shed").Inc()
+		writeEnvelope(w, http.StatusTooManyRequests, "queue_full",
+			class.String()+" admission budget exhausted; retry after backoff",
+			rt.retryAfterSeconds())
+		return
+	}
+	defer release()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		rt.requests.With(class.String(), "error").Inc()
+		writeEnvelope(w, http.StatusBadRequest, "invalid_request", "reading body: "+err.Error(), "")
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxBodyBytes {
+		rt.requests.With(class.String(), "error").Inc()
+		writeEnvelope(w, http.StatusRequestEntityTooLarge, "invalid_request",
+			fmt.Sprintf("body exceeds %d bytes", rt.cfg.MaxBodyBytes), "")
+		return
+	}
+
+	attempts := 1
+	if retryable(r) {
+		attempts = rt.cfg.Retries + 1
+	}
+	tried := make(map[int]bool)
+	for attempt := 0; attempt < attempts; attempt++ {
+		wk := rt.pickWorker(r, tried)
+		if wk == nil {
+			break
+		}
+		tried[wk.id] = true
+		ok, transportErr := rt.forward(w, r, wk, body)
+		if ok {
+			outcome := "ok"
+			if attempt > 0 {
+				outcome = "retried"
+				rt.retries.Inc()
+			}
+			rt.requests.With(class.String(), outcome).Inc()
+			rt.latency.With(class.String()).Observe(time.Since(start).Seconds())
+			return
+		}
+		// Transport failure: the worker is gone or wedged mid-exchange.
+		// Demote it so routing skips it until a scrape or respawn brings
+		// it back, and try the next-least-loaded worker.
+		wk.healthy.Store(false)
+		if transportErr != nil && attempt == attempts-1 {
+			break
+		}
+	}
+	rt.requests.With(class.String(), "unroutable").Inc()
+	writeEnvelope(w, http.StatusServiceUnavailable, "unavailable",
+		"no ready worker could serve the request", rt.retryAfterSeconds())
+}
+
+// pickWorker selects the target: sweep traffic pins to the lowest-id
+// routable worker (job ids are worker-local state), everything else
+// goes least-loaded (in-flight + scraped queue depth, ties broken
+// toward the fewest-served worker so idle fleets spread evenly).
+// Workers in tried are excluded.
+func (rt *Router) pickWorker(r *http.Request, tried map[int]bool) *Worker {
+	if strings.HasPrefix(r.URL.Path, "/v1/sweep") {
+		for _, w := range rt.sup.workers {
+			if w.routable() && !tried[w.id] {
+				return w
+			}
+		}
+		return nil
+	}
+	var best *Worker
+	var bestLoad int64
+	var bestServed uint64
+	for _, w := range rt.sup.workers {
+		if !w.routable() || tried[w.id] {
+			continue
+		}
+		load, served := w.load(), w.served.Load()
+		if best == nil || load < bestLoad || (load == bestLoad && served < bestServed) {
+			best, bestLoad, bestServed = w, load, served
+		}
+	}
+	return best
+}
+
+// forward sends one buffered request to a worker and streams the
+// response back. ok=false with a non-nil error means a transport-level
+// failure (no HTTP response landed — safe to retry elsewhere for
+// idempotent requests); any received HTTP response, success or error,
+// is relayed as-is and counts as ok.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, wk *Worker, body []byte) (bool, error) {
+	wk.inflight.Add(1)
+	defer wk.inflight.Add(-1)
+	_, addr, _ := wk.snapshot()
+	url := "http://" + addr + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := proxyClient.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Drainnet-Worker", strconv.Itoa(wk.id))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	wk.served.Add(1)
+	return true, nil
+}
+
+// proxyClient is the data-path client: no global timeout (the worker
+// enforces per-request timeouts), generous connection reuse per worker.
+var proxyClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConnsPerHost: 256,
+	IdleConnTimeout:     90 * time.Second,
+}}
+
+// retryAfterSeconds derives Retry-After guidance for shed responses
+// from the router-observed interactive latency p95 (×4 settling
+// factor), falling back to 1 s before any observation. Same shape as
+// the worker-side derivation, fed by the router's own histogram.
+func (rt *Router) retryAfterSeconds() string {
+	s := rt.latency.With(ClassInteractive.String()).Snapshot()
+	est := 1.0
+	if s.Count > 0 {
+		est = s.Quantile(0.95) * 4
+	}
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"drainnet/internal/metrics"
@@ -126,6 +127,14 @@ type Pool struct {
 	queue chan *request
 	work  chan *job
 
+	// curMaxBatch/curMaxWaitNs are the *effective* batching knobs the
+	// dispatcher reads each iteration. They start at the configured
+	// Options values and move under Retune (the adaptive batching
+	// controller's lever); Options.MaxBatch stays the hard ceiling
+	// because the batch-size histogram buckets are sized from it.
+	curMaxBatch  atomic.Int64
+	curMaxWaitNs atomic.Int64
+
 	// closing is closed-state coordination: Submit holds a read lock
 	// across its queue send so Close can safely close(queue) once no
 	// sender is in flight.
@@ -211,6 +220,9 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 		reps:           replicas,
 		detectTimed:    model.DetectWithHook,
 	}
+	p.curMaxBatch.Store(int64(opts.MaxBatch))
+	p.curMaxWaitNs.Store(int64(opts.MaxWait))
+	p.stats.setTuning(opts.MaxBatch, opts.MaxWait)
 	go p.dispatch()
 	go p.runWorkers(replicas)
 	return p, nil
@@ -284,6 +296,55 @@ func validateConfig(cfg model.Config, net *nn.Sequential) error {
 
 // Options returns the pool's resolved configuration.
 func (p *Pool) Options() Options { return p.opts }
+
+// Accepting reports whether the pool still admits new submissions (false
+// once Close has begun). The /v1/healthz readiness check reads this.
+func (p *Pool) Accepting() bool { return !p.closing.isClosed() }
+
+// Tuning returns the pool's effective batching knobs: the live values
+// the dispatcher uses, which start at Options.MaxBatch/MaxWait and move
+// under Retune.
+func (p *Pool) Tuning() (maxBatch int, maxWait time.Duration) {
+	return int(p.curMaxBatch.Load()), time.Duration(p.curMaxWaitNs.Load())
+}
+
+// retuneWaitCeiling bounds how far an adaptive controller can raise the
+// flush wait: beyond this, batching stops trading latency for anything.
+const retuneWaitCeiling = 100 * time.Millisecond
+
+// Retune adjusts the effective max-batch and max-wait without restarting
+// the pool — the adaptive batching controller's lever. maxBatch clamps
+// to [1, Options.MaxBatch] (the configured value is the ceiling: batch
+// histogram buckets and replica arenas are sized from it); maxWait
+// clamps to [0, 100ms]. Values ≤ 0 for maxBatch or < 0 for maxWait keep
+// the current setting. The resolved values are returned and take effect
+// on the next dispatch iteration; in-flight batches are unaffected.
+func (p *Pool) Retune(maxBatch int, maxWait time.Duration) (int, time.Duration) {
+	changed := false
+	if maxBatch > 0 {
+		if maxBatch > p.opts.MaxBatch {
+			maxBatch = p.opts.MaxBatch
+		}
+		p.curMaxBatch.Store(int64(maxBatch))
+		changed = true
+	}
+	if maxWait >= 0 {
+		if maxWait > retuneWaitCeiling {
+			maxWait = retuneWaitCeiling
+		}
+		p.curMaxWaitNs.Store(int64(maxWait))
+		changed = true
+	}
+	mb, mw := p.Tuning()
+	if changed {
+		p.stats.retune(mb, mw)
+	}
+	return mb, mw
+}
+
+// maxBatch/maxWait are the dispatcher's reads of the effective knobs.
+func (p *Pool) maxBatch() int           { return int(p.curMaxBatch.Load()) }
+func (p *Pool) maxWait() time.Duration  { return time.Duration(p.curMaxWaitNs.Load()) }
 
 // Submit enqueues one 1×C×H×W clip and blocks until its detection is
 // ready, the context is done, or the pool rejects it. It is safe to call
@@ -385,7 +446,7 @@ func (p *Pool) dispatch() {
 			}
 			key := shapeKey(req.x)
 			pending[key] = append(pending[key], req)
-			if len(pending[key]) >= p.opts.MaxBatch {
+			if len(pending[key]) >= p.maxBatch() {
 				p.flushGroup(pending, key)
 			}
 		case <-timerC:
@@ -402,7 +463,7 @@ func (p *Pool) earliestDeadline(pending map[string][]*request) (time.Time, bool)
 		if len(reqs) == 0 {
 			continue
 		}
-		d := reqs[0].enq.Add(p.opts.MaxWait)
+		d := reqs[0].enq.Add(p.maxWait())
 		if !found || d.Before(dl) {
 			dl, found = d, true
 		}
@@ -412,7 +473,7 @@ func (p *Pool) earliestDeadline(pending map[string][]*request) (time.Time, bool)
 
 func (p *Pool) flushDue(pending map[string][]*request, now time.Time) {
 	for key, reqs := range pending {
-		if len(reqs) > 0 && !now.Before(reqs[0].enq.Add(p.opts.MaxWait)) {
+		if len(reqs) > 0 && !now.Before(reqs[0].enq.Add(p.maxWait())) {
 			p.flushGroup(pending, key)
 		}
 	}

@@ -56,7 +56,10 @@ type statsAccum struct {
 	batchSize  *telemetry.Histogram
 	latency    *telemetry.Histogram
 	queueDepth *telemetry.Gauge
-	perReplica []*telemetry.Counter
+	retunes     *telemetry.Counter
+	effMaxBatch *telemetry.Gauge
+	effMaxWait  *telemetry.Gauge
+	perReplica  []*telemetry.Counter
 
 	replicas, maxBatch, queueCap int
 	precision                    string
@@ -86,6 +89,12 @@ func newStatsAccum(opts Options) *statsAccum {
 			telemetry.TimeBuckets, "precision").With(string(opts.Precision)),
 		queueDepth: reg.Gauge("drainnet_queue_depth",
 			"Requests waiting on the bounded queue."),
+		retunes: reg.Counter("drainnet_retunes_total",
+			"Batching retunes applied via Pool.Retune (adaptive batching controller)."),
+		effMaxBatch: reg.Gauge("drainnet_effective_max_batch",
+			"Effective max clips per forward pass (starts at the -max-batch flag, moves under retune)."),
+		effMaxWait: reg.Gauge("drainnet_effective_max_wait_seconds",
+			"Effective max time a request waits for its batch to fill (moves under retune)."),
 		replicas:  opts.Replicas,
 		maxBatch:  opts.MaxBatch,
 		queueCap:  opts.QueueSize,
@@ -105,6 +114,18 @@ func (s *statsAccum) reject() { s.rejected.Inc() }
 func (s *statsAccum) cancel() { s.canceled.Inc() }
 
 func (s *statsAccum) setQueueDepth(n int) { s.queueDepth.Set(float64(n)) }
+
+// retune records one applied retune and publishes the resolved knobs as
+// gauges, so the router's scrape and a dashboard read the same setting.
+func (s *statsAccum) retune(maxBatch int, maxWait time.Duration) {
+	s.retunes.Inc()
+	s.setTuning(maxBatch, maxWait)
+}
+
+func (s *statsAccum) setTuning(maxBatch int, maxWait time.Duration) {
+	s.effMaxBatch.Set(float64(maxBatch))
+	s.effMaxWait.Set(maxWait.Seconds())
+}
 
 // record logs one completed batch of n clips on the given replica.
 func (s *statsAccum) record(replica, n int, lats []time.Duration) {
@@ -187,4 +208,11 @@ func (g *closeGate) close() bool {
 	}
 	g.closed = true
 	return true
+}
+
+// isClosed reports whether the gate has flipped (the pool is draining).
+func (g *closeGate) isClosed() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.closed
 }

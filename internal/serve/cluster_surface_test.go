@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHealthzReadyThenDraining(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hs.Status != "ready" || !hs.Accepting {
+		t.Fatalf("fresh server healthz = %d %+v, want 200 ready/accepting", resp.StatusCode, hs)
+	}
+
+	s.BeginDrain()
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || hs.Status != "draining" {
+		t.Fatalf("draining healthz = %d %+v, want 503 draining", resp.StatusCode, hs)
+	}
+	// Liveness stays up through a drain — only readiness flips.
+	lr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if lr.StatusCode != http.StatusOK {
+		t.Fatalf("liveness during drain = %d, want 200", lr.StatusCode)
+	}
+}
+
+func TestControlBatchingEndpoint(t *testing.T) {
+	s := testServer(t) // MaxBatch 4, MaxWait 1ms
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/control/batching"
+
+	retune := func(t *testing.T, body any) (BatchingControl, int) {
+		t.Helper()
+		resp := postJSON(t, url, body)
+		defer resp.Body.Close()
+		var out BatchingControl
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out, resp.StatusCode
+	}
+
+	// Keep-everything query echoes the live tuning.
+	out, code := retune(t, BatchingControl{MaxBatch: 0, MaxWaitMs: -1})
+	if code != http.StatusOK || out.MaxBatch != 4 || out.MaxWaitMs != 1 {
+		t.Fatalf("query = %d %+v, want 200 {4, 1ms}", code, out)
+	}
+	// In-bounds retune is echoed back resolved.
+	out, code = retune(t, BatchingControl{MaxBatch: 2, MaxWaitMs: 0.5})
+	if code != http.StatusOK || out.MaxBatch != 2 || out.MaxWaitMs != 0.5 {
+		t.Fatalf("retune = %d %+v, want 200 {2, 0.5ms}", code, out)
+	}
+	// Requests over the ceilings come back clamped, not errored.
+	out, code = retune(t, BatchingControl{MaxBatch: 1000, MaxWaitMs: 60000})
+	if code != http.StatusOK || out.MaxBatch != 4 || out.MaxWaitMs != 100 {
+		t.Fatalf("over-ceiling = %d %+v, want 200 {4, 100ms}", code, out)
+	}
+	// Negative batch is a client error.
+	if _, code = retune(t, BatchingControl{MaxBatch: -1}); code != http.StatusBadRequest {
+		t.Fatalf("negative max_batch = %d, want 400", code)
+	}
+	// GET is not allowed on a control endpoint.
+	gr, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET control = %d, want 405", gr.StatusCode)
+	}
+}
+
+func TestLegacyModelAliasGone(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("legacy /model status %d, want 410", resp.StatusCode)
+	}
+	if link := resp.Header.Get("Link"); link != `</v1/model>; rel="successor-version"` {
+		t.Fatalf("legacy route Link header %q", link)
+	}
+	env := decodeError(t, resp)
+	resp.Body.Close()
+	if env.Error.Code != CodeGone {
+		t.Fatalf("code %q, want %q", env.Error.Code, CodeGone)
+	}
+}
+
+func TestRetryAfterFrom(t *testing.T) {
+	cases := []struct {
+		name    string
+		p95     float64
+		ok      bool
+		maxWait time.Duration
+		want    string
+	}{
+		{"no observations falls back to max-wait, floored to 1s", 0, false, 2 * time.Millisecond, "1"},
+		{"no observations with long max-wait rounds it up", 0, false, 2500 * time.Millisecond, "3"},
+		{"small p95 floors at 1s", 0.05, true, time.Millisecond, "1"},
+		{"p95 of 600ms settles in ceil(2.4s) = 3s", 0.6, true, time.Millisecond, "3"},
+		{"p95 of 250ms → exactly 1s", 0.25, true, time.Millisecond, "1"},
+		{"p95 just over 250ms rounds up to 2s", 0.26, true, time.Millisecond, "2"},
+		{"large p95 scales linearly", 5, true, time.Millisecond, "20"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterFrom(tc.p95, tc.ok, tc.maxWait); got != tc.want {
+				t.Fatalf("retryAfterFrom(%v, %v, %v) = %q, want %q", tc.p95, tc.ok, tc.maxWait, got, tc.want)
+			}
+		})
+	}
+}

@@ -12,6 +12,8 @@
 //	GET    /v1/stats              batching/latency statistics (JSON)
 //	GET    /v1/metrics            Prometheus text exposition (?format=json)
 //	GET    /v1/trace              latest sampled request as Chrome trace
+//	GET    /v1/healthz            liveness + readiness (200 ready, 503 draining)
+//	POST   /v1/control/batching   retune the effective max-batch/max-wait live
 //	GET    /healthz               liveness (unversioned)
 //	GET    /debug/pprof/*         Go profiling (only with Options.EnablePprof)
 //
@@ -46,6 +48,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drainnet/internal/metrics"
@@ -196,6 +199,11 @@ type Server struct {
 	params    int
 	sweeps    *sweep.Manager
 
+	// draining flips when a graceful shutdown begins (BeginDrain/Close);
+	// /v1/healthz readiness reports it so an orchestrator or the cluster
+	// router stops routing new work here while in-flight requests finish.
+	draining atomic.Bool
+
 	tel          *telemetry.Telemetry
 	httpRequests *telemetry.CounterVec
 	httpDuration *telemetry.HistogramVec
@@ -273,12 +281,22 @@ func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 // Sweeps exposes the sweep job manager (status, direct job control).
 func (s *Server) Sweeps() *sweep.Manager { return s.sweeps }
 
+// BeginDrain marks the server as draining: /v1/healthz readiness flips
+// to 503 so load balancers stop sending new work, while every other
+// route keeps serving in-flight traffic. Call it when the shutdown
+// signal arrives, before stopping the HTTP listener; Close calls it too.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether a graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close drains the server: sweep jobs checkpoint and stop first (they
 // are pool clients), then the inference pool drains — queued requests
 // finish, new ones are refused — then the telemetry pipeline stops (its
 // registry stays readable). Call after the HTTP listener stops accepting
 // connections. Checkpointed sweep jobs resume on the next start.
 func (s *Server) Close() {
+	s.BeginDrain()
 	s.sweeps.Close()
 	s.pool.Close()
 	s.tel.Close()
@@ -293,6 +311,8 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 	handle("/healthz", s.handleHealth)
+	handle("/v1/healthz", method(http.MethodGet, s.handleHealthV1))
+	handle("/v1/control/batching", method(http.MethodPost, s.handleControlBatching))
 	handle("/v1/model", method(http.MethodGet, s.handleModel))
 	handle("/v1/stats", method(http.MethodGet, s.handleStats))
 	handle("/v1/metrics", method(http.MethodGet, s.handleMetrics))
@@ -348,6 +368,60 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// HealthStatus is the GET /v1/healthz body: liveness is implied by any
+// response; Ready distinguishes "accepting new work" from "draining in-
+// flight work" (status 200 vs 503), which is what an orchestrator's
+// readiness probe and the cluster router's routing decision need.
+type HealthStatus struct {
+	// Status is "ready" or "draining".
+	Status string `json:"status"`
+	// Accepting reports whether the inference pool still admits new
+	// submissions. It trails Status: a drain flips Status first, and
+	// Accepting flips once the pool itself closes.
+	Accepting bool `json:"accepting"`
+}
+
+// handleHealthV1 is the combined liveness+readiness probe: 200 while the
+// server accepts new work, 503 once a drain has begun (in-flight
+// requests still complete). Any response at all proves liveness.
+func (s *Server) handleHealthV1(w http.ResponseWriter, r *http.Request) {
+	h := HealthStatus{Status: "ready", Accepting: s.pool.Accepting()}
+	code := http.StatusOK
+	if s.draining.Load() || !h.Accepting {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// BatchingControl is the POST /v1/control/batching payload and response:
+// the worker's effective batching knobs. On request, a zero/omitted
+// MaxBatch or negative MaxWaitMs keeps the current value; the response
+// carries the resolved (clamped) settings. This is the control surface
+// the router's adaptive batching controller retunes workers through.
+type BatchingControl struct {
+	MaxBatch  int     `json:"max_batch"`
+	MaxWaitMs float64 `json:"max_wait_ms"`
+}
+
+func (s *Server) handleControlBatching(w http.ResponseWriter, r *http.Request) {
+	req := BatchingControl{MaxWaitMs: -1}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest(CodeBadJSON, "bad JSON: "+err.Error()))
+		return
+	}
+	if req.MaxBatch < 0 {
+		writeError(w, badRequest(CodeInvalidRequest, "max_batch must be ≥ 0 (0 keeps the current value)"))
+		return
+	}
+	maxWait := time.Duration(-1)
+	if req.MaxWaitMs >= 0 {
+		maxWait = time.Duration(req.MaxWaitMs * float64(time.Millisecond))
+	}
+	mb, mw := s.pool.Retune(req.MaxBatch, maxWait)
+	writeJSON(w, http.StatusOK, BatchingControl{MaxBatch: mb, MaxWaitMs: float64(mw) / float64(time.Millisecond)})
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -543,15 +617,20 @@ func (s *Server) poolError(err error) *apiError {
 }
 
 // retryAfterSeconds suggests a Retry-After for 429s from the live
-// queue-wait distribution: a queue drains roughly QueueSize·p95 waits,
-// so the p95 queue wait times a settling factor is when capacity
-// realistically frees up. Before any request has been observed it falls
-// back to one max-wait window. Always ≥ 1 whole second (the header's
-// resolution).
+// queue-wait distribution (see retryAfterFrom).
 func (s *Server) retryAfterSeconds() string {
-	popts := s.pool.Options()
-	est := popts.MaxWait.Seconds()
-	if p95, ok := s.tel.QueueWaitQuantile(0.95); ok {
+	p95, ok := s.tel.QueueWaitQuantile(0.95)
+	return retryAfterFrom(p95, ok, s.pool.Options().MaxWait)
+}
+
+// retryAfterFrom derives the Retry-After header value: a queue drains
+// roughly QueueSize·p95 waits, so the p95 queue wait times a settling
+// factor (4) is when capacity realistically frees up. With no quantile
+// observed yet (ok=false) it falls back to one max-wait window. Always
+// ≥ 1 whole second (the header's resolution), rounded up.
+func retryAfterFrom(p95 float64, ok bool, maxWait time.Duration) string {
+	est := maxWait.Seconds()
+	if ok {
 		est = p95 * 4
 	}
 	secs := int(math.Ceil(est))

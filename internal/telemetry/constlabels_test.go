@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstLabelsInPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.SetConstLabels(map[string]string{"worker": "3"})
+	r.Counter("drainnet_test_total", "plain counter").Add(2)
+	r.CounterVec("drainnet_test_labeled_total", "labeled counter", "precision").With("int8").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `drainnet_test_total{worker="3"} 2`) {
+		t.Fatalf("plain counter missing const label:\n%s", text)
+	}
+	// Const labels render alongside the series' own labels.
+	if !strings.Contains(text, `worker="3"`) || !strings.Contains(text, `precision="int8"`) {
+		t.Fatalf("labeled counter lost const or own labels:\n%s", text)
+	}
+}
+
+func TestConstLabelsInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.SetConstLabels(map[string]string{"worker": "1"})
+	r.Gauge("drainnet_test_gauge", "gauge").Set(7)
+	r.GaugeVec("drainnet_test_gauge_labeled", "labeled", "phase").With("infer").Set(1)
+
+	for _, p := range r.Snapshot() {
+		if p.Labels["worker"] != "1" {
+			t.Fatalf("point %s labels = %v, want worker=1 merged in", p.Name, p.Labels)
+		}
+	}
+}
+
+func TestConstLabelsPerMetricWins(t *testing.T) {
+	// A metric that carries its own "worker" label must not be clobbered
+	// by the process-wide const label in the JSON snapshot.
+	r := NewRegistry()
+	r.SetConstLabels(map[string]string{"worker": "global"})
+	r.GaugeVec("drainnet_test_conflict", "conflict", "worker").With("own").Set(1)
+
+	for _, p := range r.Snapshot() {
+		if p.Name == "drainnet_test_conflict" && p.Labels["worker"] != "own" {
+			t.Fatalf("per-metric label clobbered: %v", p.Labels)
+		}
+	}
+}
+
+func TestConstLabelsAccessor(t *testing.T) {
+	r := NewRegistry()
+	if got := r.ConstLabels(); len(got) != 0 {
+		t.Fatalf("fresh registry const labels = %v, want empty", got)
+	}
+	r.SetConstLabels(map[string]string{"b": "2", "a": "1"})
+	got := r.ConstLabels()
+	if got["a"] != "1" || got["b"] != "2" || len(got) != 2 {
+		t.Fatalf("ConstLabels = %v", got)
+	}
+}
+
+func TestTelemetryOptionsConstLabels(t *testing.T) {
+	tel := New(Options{ConstLabels: map[string]string{"worker": "5"}})
+	defer tel.Close()
+	if got := tel.Registry().ConstLabels()["worker"]; got != "5" {
+		t.Fatalf("Options.ConstLabels not applied: %q", got)
+	}
+}

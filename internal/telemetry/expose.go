@@ -42,13 +42,17 @@ func (f *family) snapshotChildren() ([]string, []interface{}) {
 }
 
 // Snapshot returns every metric as a flat sample list, for the JSON
-// exposition and for building derived views (e.g. /v1/stats).
+// exposition and for building derived views (e.g. /v1/stats). Registry
+// const labels (SetConstLabels) are merged into every sample's label
+// map; a per-metric label with the same key wins.
 func (r *Registry) Snapshot() []MetricPoint {
+	constLabels := r.ConstLabels()
 	var out []MetricPoint
 	for _, f := range r.snapshotFamilies() {
 		keys, children := f.snapshotChildren()
 		for i, key := range keys {
-			p := MetricPoint{Name: f.name, Type: f.typ.String(), Help: f.help, Labels: labelMap(f.labels, key)}
+			p := MetricPoint{Name: f.name, Type: f.typ.String(), Help: f.help,
+				Labels: mergedLabelMap(constLabels, f.labels, key)}
 			switch c := children[i].(type) {
 			case *Counter:
 				p.Value = float64(c.Value())
@@ -65,12 +69,17 @@ func (r *Registry) Snapshot() []MetricPoint {
 	return out
 }
 
-func labelMap(labels []string, key string) map[string]string {
-	if len(labels) == 0 {
+// mergedLabelMap builds a sample's label map: const labels first, then
+// per-metric labels (which win on key collision).
+func mergedLabelMap(constLabels map[string]string, labels []string, key string) map[string]string {
+	if len(labels) == 0 && len(constLabels) == 0 {
 		return nil
 	}
+	m := make(map[string]string, len(labels)+len(constLabels))
+	for k, v := range constLabels {
+		m[k] = v
+	}
 	values := strings.Split(key, labelSep)
-	m := make(map[string]string, len(labels))
 	for i, l := range labels {
 		if i < len(values) {
 			m[l] = values[i]
@@ -83,6 +92,13 @@ func labelMap(labels []string, key string) map[string]string {
 // exposition format (version 0.0.4): HELP/TYPE headers, one line per
 // sample, histograms as cumulative le-labeled buckets plus _sum/_count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.constMu.RLock()
+	constKeys := append([]string(nil), r.constKeys...)
+	constValues := append([]string(nil), r.constValues...)
+	r.constMu.RUnlock()
+	renderLabels := func(labels []string, key, extraKey, extraVal string) string {
+		return renderLabelsConst(constKeys, constValues, labels, key, extraKey, extraVal)
+	}
 	for _, f := range r.snapshotFamilies() {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, sanitizeHelp(f.help)); err != nil {
@@ -131,16 +147,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// renderLabels formats {k1="v1",...}, optionally appending one extra
-// pair (the histogram le label). Empty label sets render as "".
-func renderLabels(labels []string, key, extraKey, extraVal string) string {
-	if len(labels) == 0 && extraKey == "" {
+// renderLabelsConst formats {k1="v1",...}: registry const labels first,
+// then the per-metric labels, optionally appending one extra pair (the
+// histogram le label). Empty label sets render as "".
+func renderLabelsConst(constKeys, constValues, labels []string, key, extraKey, extraVal string) string {
+	if len(constKeys) == 0 && len(labels) == 0 && extraKey == "" {
 		return ""
 	}
 	var b strings.Builder
 	b.WriteByte('{')
 	values := strings.Split(key, labelSep)
 	n := 0
+	for i, k := range constKeys {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, constValues[i])
+		n++
+	}
 	for i, l := range labels {
 		if i >= len(values) {
 			break

@@ -42,11 +42,53 @@ type Registry struct {
 	mu    sync.RWMutex
 	fams  map[string]*family
 	order []string
+
+	// constLabels are appended to every exported sample (Prometheus text
+	// and JSON). They identify the *process* — e.g. worker="3" on a
+	// router-spawned worker — so fleet dashboards and the cluster router
+	// can tell N workers' otherwise-identical series apart.
+	constMu     sync.RWMutex
+	constKeys   []string
+	constValues []string
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{fams: map[string]*family{}}
+}
+
+// SetConstLabels replaces the registry's process-wide constant labels.
+// They ride on every exported sample without touching the lock-free
+// record path (applied at exposition time only). Keys are exported in
+// sorted order; conflicting per-metric labels keep the per-metric value.
+func (r *Registry) SetConstLabels(labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	values := make([]string, len(keys))
+	for i, k := range keys {
+		values[i] = labels[k]
+	}
+	r.constMu.Lock()
+	r.constKeys, r.constValues = keys, values
+	r.constMu.Unlock()
+}
+
+// ConstLabels returns a copy of the registry's constant labels (nil when
+// none are set).
+func (r *Registry) ConstLabels() map[string]string {
+	r.constMu.RLock()
+	defer r.constMu.RUnlock()
+	if len(r.constKeys) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(r.constKeys))
+	for i, k := range r.constKeys {
+		m[k] = r.constValues[i]
+	}
+	return m
 }
 
 // labelSep joins label values into child keys; it cannot appear in

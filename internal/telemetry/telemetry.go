@@ -58,6 +58,11 @@ type Options struct {
 	MaxPendingSpans int
 	// Registry lets callers share a registry; nil creates a fresh one.
 	Registry *Registry
+	// ConstLabels tags every exported sample with process-wide labels
+	// (e.g. worker="3" on a router-spawned worker). Applied to the
+	// registry via SetConstLabels; exposition-time only, so the lock-free
+	// record path is unaffected.
+	ConstLabels map[string]string
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +131,9 @@ func NewDisabled() *Telemetry {
 
 func newCore(opts Options) *Telemetry {
 	opts = opts.withDefaults()
+	if len(opts.ConstLabels) > 0 {
+		opts.Registry.SetConstLabels(opts.ConstLabels)
+	}
 	t := &Telemetry{opts: opts, reg: opts.Registry}
 	t.dropped = t.reg.Counter("drainnet_telemetry_events_dropped_total",
 		"Telemetry events dropped because the ring buffer was full.")
