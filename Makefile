@@ -4,8 +4,9 @@ GO ?= go
 
 .PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
         test-race-fastpath test-race-ios test-race-sweep test-race-cluster \
-        smoke-sweep smoke-cluster bench-cluster check-allocs \
-        bench bench-serve bench-telemetry bench-inference bench-ios test-short \
+        test-race-kernels smoke-sweep smoke-cluster bench-cluster check-allocs \
+        bench bench-serve bench-telemetry bench-inference bench-kernels \
+        bench-ios test-short \
         bench-fast experiments experiments-train examples renders clean
 
 all: build vet test
@@ -16,7 +17,7 @@ all: build vet test
 # the sweep job runner + the cluster router/supervisor), the sweep
 # kill-and-resume smoke, the cluster kill-under-load smoke, and the
 # zero-allocation regression guards on both serving forwards.
-check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep test-race-cluster smoke-sweep smoke-cluster check-allocs
+check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep test-race-cluster test-race-kernels smoke-sweep smoke-cluster check-allocs
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
@@ -72,12 +73,19 @@ test-race-fastpath:
 test-race-ios:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestScheduleExecutor|TestRunInline|TestMeasuredOracle|Scheduled' ./internal/tensor/ ./internal/nn/ ./internal/ios/ ./internal/model/
 
+# Conv kernel variants (Winograd F(2,3), cache-blocked NCHWc, direct)
+# and the per-layer autotuner under the race detector: the batch-1
+# phases fan out over the shared worker pool.
+test-race-kernels:
+	GOMAXPROCS=4 $(GO) test -race -run 'Winograd|NCHWc|DirectConv|Kernel|TestTuned' ./internal/tensor/ ./internal/nn/ ./internal/model/
+
 # Alloc-regression guard: every steady-state serving forward (the
-# sequential fast path, the scheduled IOS executor and the quantized
-# int8 path) must report exactly 0 allocs per run
-# (testing.AllocsPerRun inside the tests).
+# sequential fast path, the scheduled IOS executor, the quantized
+# int8 path and the autotuned Winograd/NCHWc/direct kernel mix) must
+# report exactly 0 allocs per run (testing.AllocsPerRun inside the
+# tests).
 check-allocs:
-	$(GO) test -run 'TestInferSteadyStateZeroAlloc|TestScheduledSteadyStateZeroAlloc|TestQuantInferSteadyStateZeroAlloc' -v ./internal/model/
+	$(GO) test -run 'TestInferSteadyStateZeroAlloc|TestScheduledSteadyStateZeroAlloc|TestQuantInferSteadyStateZeroAlloc|TestTunedInferSteadyStateZeroAlloc' -v ./internal/model/
 
 build:
 	$(GO) build ./...
@@ -109,6 +117,13 @@ bench-fast:
 bench-inference:
 	GOMAXPROCS=1 $(GO) run ./cmd/drainnet-bench -exp inference
 	GOMAXPROCS=4 $(GO) run ./cmd/drainnet-bench -exp inference
+
+# Per-algorithm conv microbenchmarks: im2col+GEMM vs Winograd F(2,3) vs
+# cache-blocked NCHWc vs direct, per conv shape of the inference-bench
+# model, merged into BENCH_kernels.json keyed by gomaxprocs.
+bench-kernels:
+	GOMAXPROCS=1 $(GO) run ./cmd/drainnet-bench -exp kernels
+	GOMAXPROCS=4 $(GO) run ./cmd/drainnet-bench -exp kernels
 
 # Profile-guided IOS scheduling on the real inference path: measured
 # cost oracle -> optimized stage schedule -> concurrent executor vs the

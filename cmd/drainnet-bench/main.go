@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1,table2,table3,fig6,fig7,fig8,baseline,ablation-sched,ablation-spp,ablation-conv,inference,ios,all)")
+	exp := flag.String("exp", "all", "experiment id (table1,table2,table3,fig6,fig7,fig8,baseline,ablation-sched,ablation-spp,ablation-conv,inference,kernels,ios,all)")
 	tiny := flag.Bool("tiny", false, "use the seconds-scale training config")
 	withTrain := flag.Bool("train", false, "include training experiments (table1, baseline) under -exp all")
 	flag.Parse()
@@ -108,6 +108,12 @@ func main() {
 			fmt.Println(res.Render())
 		case "inference":
 			res, err := experiments.InferenceBench("BENCH_inference.json")
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "kernels":
+			res, err := experiments.KernelsBench("BENCH_kernels.json")
 			if err != nil {
 				return err
 			}

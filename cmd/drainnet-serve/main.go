@@ -37,12 +37,20 @@
 //	drainnet-serve -trace-sample 100 -trace-dir traces/ -pprof
 //	drainnet-serve -ios -ios-cache costs.json   # IOS-scheduled replicas
 //	drainnet-serve -precision int8 -quant-max-ap-drop 0.01   # accuracy-gated int8
+//	drainnet-serve -autotune -kernel-cache kern.json         # tuned conv kernels
 //
 // -precision int8 quantizes the detector (per-channel int8 weights,
 // affine int8 activations) and refuses to start unless the held-out AP
 // drop stays within -quant-max-ap-drop; -precision auto falls back to
 // fp32 instead of refusing. /v1/model reports the precision actually
 // served.
+//
+// -autotune measures every conv kernel variant (im2col+GEMM, Winograd
+// F(2,3), cache-blocked NCHWc, direct — plus int8 when the quant gate
+// passed) per layer and batch bucket on this machine and serves the
+// fastest mix whose held-out AP drop stays within -quant-max-ap-drop.
+// /v1/model reports the per-layer choices and the drainnet_kernel_choice
+// gauge exports them.
 package main
 
 import (
@@ -62,6 +70,7 @@ import (
 	"drainnet/internal/experiments"
 	"drainnet/internal/ios"
 	"drainnet/internal/model"
+	"drainnet/internal/nn"
 	"drainnet/internal/serve"
 	"drainnet/internal/telemetry"
 	"drainnet/internal/terrain"
@@ -85,6 +94,8 @@ func main() {
 	iosCache := flag.String("ios-cache", "", "operator cost-cache file for -ios (loaded if present, saved after measuring; startups with a warm cache skip re-measurement)")
 	precisionFlag := flag.String("precision", "fp32", "serving precision: fp32, int8 (refuse to start if the accuracy gate fails) or auto (fall back to fp32)")
 	quantMaxDrop := flag.Float64("quant-max-ap-drop", 0.01, "accuracy gate epsilon: largest tolerated AP drop (fp32 AP − int8 AP) on the held-out split before int8 is refused")
+	autotune := flag.Bool("autotune", false, "measure every conv kernel variant (im2col, winograd, nchwc, direct, int8 when gated on) per layer and batch bucket on this machine and serve the fastest accuracy-gated mix; shares -quant-max-ap-drop as the gate epsilon")
+	kernelCache := flag.String("kernel-cache", "", "kernel measurement cache file for -autotune (loaded if present, saved after tuning); may be the same file as -ios-cache — the keys are shared")
 	sweepDir := flag.String("sweep-dir", "", "checkpoint directory for /v1/sweep jobs (empty = jobs die with the process); unfinished jobs in it resume at startup")
 	sweepConc := flag.Int("sweep-concurrency", 0, "max in-flight pool submissions per sweep job (0 = default 16)")
 	workerID := flag.Int("worker-id", -1, "cluster worker slot id; labels every metric with worker=<id> (-1 = standalone)")
@@ -129,10 +140,12 @@ func main() {
 		fmt.Printf("trained: AP@%.1f = %.1f%%\n", dc.IoUThreshold, ev.AP*100)
 	}
 
-	// Quantize before schedule optimization, so the IOS oracle prices the
-	// operators that will actually serve (int8 ops carry their own
-	// cost-cache keys).
+	// Quantize before kernel autotuning and schedule optimization, so
+	// both price the operators that will actually serve (int8 ops carry
+	// their own cost-cache keys).
 	served := model.PrecisionFP32
+	fp32Net := net
+	var qnet *nn.Sequential
 	if precision != model.PrecisionFP32 {
 		if calibDS == nil {
 			if _, calibDS, err = experiments.BuildData(dc); err != nil {
@@ -148,6 +161,7 @@ func main() {
 			dec.FP32AP, dec.Int8AP, dec.Drop, dec.Epsilon, dec.Enabled)
 		switch {
 		case dec.Enabled:
+			qnet = dec.Net
 			net = dec.Net
 			served = model.PrecisionInt8
 		case precision == model.PrecisionInt8:
@@ -157,6 +171,53 @@ func main() {
 			fmt.Println(`level=info msg=quant_fallback reason="accuracy gate failed" serving=fp32`)
 		}
 	}
+
+	// Per-layer kernel autotuning: measure im2col vs winograd vs nchwc vs
+	// direct (vs int8 when the quant gate passed) for every conv layer
+	// and serve the fastest mix that keeps the held-out AP drop within
+	// epsilon. Runs before IOS planning so the schedule oracle prices the
+	// kernels that will actually serve.
+	var kplan *model.KernelPlan
+	if *autotune {
+		if calibDS == nil {
+			if _, calibDS, err = experiments.BuildData(dc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		kcache := ios.NewCostCache()
+		if *kernelCache != "" {
+			if kcache, err = ios.LoadCostCache(*kernelCache); err != nil {
+				log.Fatal(err)
+			}
+		}
+		before := kcache.Len()
+		kplan, err = model.AutotuneKernels(fp32Net, qnet, []int{cfg.InBands, cfg.InSize, cfg.InSize}, calibDS,
+			model.KernelOptions{Batches: []int{1, *maxBatch}, MaxAPDrop: *quantMaxDrop, Cache: kcache})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *kernelCache != "" && kplan.Cache.Len() != before {
+			if err := kplan.Cache.Save(*kernelCache); err != nil {
+				log.Printf("level=warn msg=\"kernel cache not saved\" err=%v", err)
+			}
+		}
+		net = kplan.Served
+		// The served net is pure fp32 exactly when the plan handed the
+		// fp32 net back; any other assembly carries int8 modules.
+		served = model.PrecisionFP32
+		if kplan.Served != fp32Net {
+			served = model.PrecisionInt8
+		}
+		fmt.Printf("level=info msg=kernel_autotune mix=%q demotions=%d fp32_ap=%.4f tuned_ap=%.4f ap_drop=%.4f epsilon=%.4f measured=%d cache_entries=%d cache=%q\n",
+			kplan.Mix(), kplan.Demotions, kplan.FP32AP, kplan.TunedAP, kplan.Drop, kplan.Epsilon, kplan.Cache.Len()-before, kplan.Cache.Len(), *kernelCache)
+	}
+
+	// One-time weight packing (im2col panels, winograd transforms, NCHWc
+	// blocks, int8 quantization) for replica 0, parallelized across
+	// layers; batcher clones share the packed weights.
+	packStart := time.Now()
+	nn.PrepareInferenceParallel(net)
+	packMS := float64(time.Since(packStart)) / float64(time.Millisecond)
 
 	var tel *telemetry.Telemetry
 	if *telemetryOn {
@@ -208,6 +269,7 @@ func main() {
 		EnablePprof:      *pprofOn,
 		Plan:             plan,
 		Precision:        served,
+		Kernels:          kplan,
 		SweepDir:         *sweepDir,
 		SweepResume:      *sweepDir != "",
 		SweepConcurrency: *sweepConc,
@@ -218,8 +280,8 @@ func main() {
 	popts := srv.Pool().Options()
 	// One structured line with the full resolved configuration, so a log
 	// scraper (or a human) sees every serving knob in one place.
-	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t sweep_dir=%q sweep_concurrency=%d worker_id=%d\n",
-		cfg.Name, *addr, runtime.GOMAXPROCS(0), served, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
+	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s autotune=%t pack_ms=%.1f replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t sweep_dir=%q sweep_concurrency=%d worker_id=%d\n",
+		cfg.Name, *addr, runtime.GOMAXPROCS(0), served, *autotune, packMS, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
 		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn, *sweepDir, *sweepConc, *workerID)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

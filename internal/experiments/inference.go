@@ -20,7 +20,7 @@ import (
 // InferenceBenchRow is one (path, precision, batch) measurement.
 type InferenceBenchRow struct {
 	Path       string  `json:"path"`      // "forward" (training graph) or "infer" (fast path)
-	Precision  string  `json:"precision"` // "fp32" or "int8" — keys the row, so mixed-precision runs merge without clobbering
+	Precision  string  `json:"precision"` // "fp32", "int8" or "tuned" (autotuned kernel mix) — keys the row, so mixed-precision runs merge without clobbering
 	Batch      int     `json:"batch"`     // clips per forward pass
 	NsPerOp    int64   `json:"ns_per_op"`
 	NsPerImg   float64 `json:"ns_per_image"`
@@ -57,6 +57,15 @@ type InferenceBenchRun struct {
 	Int8SpeedupBatch16 float64        `json:"int8_speedup_batch16"`
 	Int8Deterministic  bool           `json:"int8_deterministic"`
 	Gate               *QuantGateInfo `json:"quant_gate,omitempty"`
+	// TunedSpeedupBatchN compare the autotuned kernel mix (Winograd /
+	// NCHWc / direct / int8, per layer — model.AutotuneKernels) to the
+	// fp32 fast path; KernelMix names the per-layer choices it measured
+	// fastest, and KernelDemotions counts accuracy-gate demotion steps.
+	TunedSpeedupBatch1  float64 `json:"tuned_speedup_batch1"`
+	TunedSpeedupBatch16 float64 `json:"tuned_speedup_batch16"`
+	KernelMix           string  `json:"kernel_mix,omitempty"`
+	KernelDemotions     int     `json:"kernel_demotions"`
+	KernelAPDrop        float64 `json:"kernel_ap_drop"`
 }
 
 // InferenceBenchResult records the CPU inference fast-path benchmark:
@@ -66,8 +75,9 @@ type InferenceBenchRun struct {
 // invocations. It is written to BENCH_inference.json so later PRs have
 // a perf trajectory to compare against.
 type InferenceBenchResult struct {
-	Model string              `json:"model"`
-	Runs  []InferenceBenchRun `json:"runs"`
+	Model      string              `json:"model"`
+	Provenance *Provenance         `json:"provenance,omitempty"`
+	Runs       []InferenceBenchRun `json:"runs"`
 }
 
 // InferenceBench benchmarks both forward paths on a width-scaled
@@ -160,9 +170,46 @@ func InferenceBench(outPath string) (*InferenceBenchResult, error) {
 	run.Int8SpeedupBatch1 = float64(byKey["infer1"].NsPerOp) / float64(byKey["int8-1"].NsPerOp)
 	run.Int8SpeedupBatch16 = float64(byKey["infer16"].NsPerOp) / float64(byKey["int8-16"].NsPerOp)
 
+	// Autotuned kernel mix: Winograd/NCHWc/direct per conv layer, int8 in
+	// the competition when the quant gate passed, same gate epsilon.
+	// Retargeting happens after the fp32 rows are measured, so they keep
+	// pricing the plain im2col path.
+	qnet := dec.Net
+	if !dec.Enabled {
+		qnet = nil
+	}
+	plan, err := model.AutotuneKernels(net, qnet, []int{cfg.InBands, cfg.InSize, cfg.InSize}, calib,
+		model.KernelOptions{Batches: []int{1, 16}, MaxAPDrop: 0.05})
+	if err != nil {
+		return nil, err
+	}
+	run.KernelMix = plan.Mix()
+	run.KernelDemotions = plan.Demotions
+	run.KernelAPDrop = plan.Drop
+	for _, batch := range []int{1, 16} {
+		x := tensor.New(batch, cfg.InBands, cfg.InSize, cfg.InSize)
+		rng := rand.New(rand.NewSource(int64(batch)))
+		for i := range x.Data() {
+			x.Data()[i] = rng.Float32()
+		}
+		ta := tensor.NewArena()
+		var tdets []metrics.Detection
+		tb := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ta.Reset()
+				tdets = model.InferDetect(plan.Served, x, ta, tdets)
+			}
+		})
+		byKey[fmt.Sprintf("tuned-%d", batch)] = appendRow(&run, "infer", "tuned", batch, tb)
+	}
+	run.TunedSpeedupBatch1 = float64(byKey["infer1"].NsPerOp) / float64(byKey["tuned-1"].NsPerOp)
+	run.TunedSpeedupBatch16 = float64(byKey["infer16"].NsPerOp) / float64(byKey["tuned-16"].NsPerOp)
+
 	res := &InferenceBenchResult{}
 	loadBenchFile(outPath, res)
 	res.Model = cfg.Name + " /4 @50px"
+	res.Provenance = CollectProvenance()
 	res.Runs = mergeRunByProcs(res.Runs, run)
 	if err := writeBenchFile(outPath, res); err != nil {
 		return nil, err
@@ -257,6 +304,11 @@ func (r *InferenceBenchResult) Render() string {
 		}
 		fmt.Fprintf(&b, "fast-path speedup vs forward: %.2fx at batch 1, %.2fx at batch 16\n", run.SpeedupBatch1, run.SpeedupBatch16)
 		fmt.Fprintf(&b, "int8 speedup vs fp32 fast path: %.2fx at batch 1, %.2fx at batch 16\n", run.Int8SpeedupBatch1, run.Int8SpeedupBatch16)
+		if run.KernelMix != "" {
+			fmt.Fprintf(&b, "tuned speedup vs fp32 fast path: %.2fx at batch 1, %.2fx at batch 16 (demotions=%d ap_drop=%.4f)\n",
+				run.TunedSpeedupBatch1, run.TunedSpeedupBatch16, run.KernelDemotions, run.KernelAPDrop)
+			fmt.Fprintf(&b, "kernel mix: %s\n", run.KernelMix)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,452 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"drainnet/internal/graph"
+	"drainnet/internal/ios"
+	"drainnet/internal/nn"
+	"drainnet/internal/tensor"
+	"drainnet/internal/terrain"
+)
+
+// Per-layer kernel autotuning: the paper's selection rule — maximize
+// efficiency subject to an accuracy floor — applied one level below
+// quantization, to the convolution kernels themselves. For every conv
+// layer and batch bucket the tuner measures each eligible kernel variant
+// (im2col+GEMM, Winograd F(2,3), cache-blocked NCHWc, direct) plus the
+// int8 path when a quantized network is available, picks the fastest,
+// and gates the result: exact kernels are bitwise and pass trivially,
+// while a mix containing Winograd (or int8 layers) must keep the
+// held-out AP drop within epsilon, with a demotion ladder down to the
+// always-safe pure-fp32 im2col mix.
+//
+// Measurements run through ios.MeasuredOracle — the same warmup /
+// trimmed-mean / MinSampleNs machinery and cost cache that prices IOS
+// schedules — with each variant keyed by a kernel tag (see
+// nn.GraphProgram.OpTag), so a saved kernel cache makes retuning on the
+// same host instant and stays consistent with IOS planning.
+
+// KernelInt8 is the pseudo-variant name for a conv layer served by its
+// int8 wrapper instead of an fp32 kernel.
+const KernelInt8 = "int8"
+
+// KernelOptions configures AutotuneKernels.
+type KernelOptions struct {
+	// Batches are the batch buckets to tune; the bucket 1 choice drives
+	// Conv2D's batch-1 kernel, the largest bucket drives the batch->1
+	// kernel and the per-layer precision. Default {1, 16}.
+	Batches []int
+	// MaxAPDrop is the gate epsilon for non-exact mixes (default 0 — any
+	// drop demotes; set to the serving tolerance, e.g. 0.01).
+	MaxAPDrop float64
+	// IoU is the AP matching threshold (0 → 0.5).
+	IoU float64
+	// EvalBatch is the batch size for gate evaluations (0 → 16).
+	EvalBatch int
+	// Cache is an optional warm measurement cache (ios.LoadCostCache);
+	// a fresh one is created when nil. Retrieve it from the returned
+	// plan's Cache field to save after tuning.
+	Cache *ios.CostCache
+}
+
+// LayerKernel is one conv layer's tuned serving choice.
+type LayerKernel struct {
+	// Layer is the module index within the Sequential; Name describes
+	// the layer (channels and geometry).
+	Layer int    `json:"layer"`
+	Name  string `json:"name"`
+	// Precision is "fp32" or "int8". For int8 layers the kernel fields
+	// echo "int8" in both buckets.
+	Precision string `json:"precision"`
+	// Batch1/BatchN are the selected kernel names per bucket.
+	Batch1 string `json:"batch1"`
+	BatchN string `json:"batchN"`
+	// SpeedupB1/SpeedupBN are measured im2col-cost / chosen-cost ratios.
+	SpeedupB1 float64 `json:"speedup_batch1"`
+	SpeedupBN float64 `json:"speedup_batchN"`
+}
+
+// KernelPlan is the outcome of AutotuneKernels.
+type KernelPlan struct {
+	// Served is the network to serve. Without a quantized net it is the
+	// fp32 net with tuned kernels. With one, it starts from the quantized
+	// net (linears keep their gated int8 kernels) with the tuned fp32
+	// conv swapped in wherever fp32 measured faster than int8 — unless
+	// the gate ladder reverted everything, in which case it is the fp32
+	// net again.
+	Served *nn.Sequential `json:"-"`
+	// Layers holds one entry per conv layer in model order.
+	Layers []LayerKernel `json:"layers"`
+	// Batches echoes the tuned buckets.
+	Batches []int `json:"batches"`
+	// FP32AP, TunedAP and Drop report the accuracy gate (zero when the
+	// final mix is exact and no evaluation was needed).
+	FP32AP  float64 `json:"fp32_ap"`
+	TunedAP float64 `json:"tuned_ap"`
+	Drop    float64 `json:"drop"`
+	Epsilon float64 `json:"epsilon"`
+	// Demotions counts gate-ladder steps taken: 0 = first mix served,
+	// 1 = Winograd demoted to exact kernels, 2 = int8 layers reverted too.
+	Demotions int `json:"demotions"`
+	// Cache is the measurement cache after tuning (save for warm restarts).
+	Cache *ios.CostCache `json:"-"`
+}
+
+// Mix summarizes the plan as "name:b1/bN" fragments for log lines.
+func (p *KernelPlan) Mix() string {
+	frags := make([]string, len(p.Layers))
+	for i, l := range p.Layers {
+		frags[i] = fmt.Sprintf("%s:%s/%s", l.Name, l.Batch1, l.BatchN)
+	}
+	return strings.Join(frags, " ")
+}
+
+// tunable is one conv layer under tuning.
+type tunable struct {
+	idx   int
+	conv  *nn.Conv2D
+	qconv *nn.QuantConv2D // int8 competitor; nil when unavailable
+	relu  bool
+	node  *graph.Node
+	name  string
+}
+
+// convProbe adapts a single conv layer to ios.OpRunner/OpTagger so the
+// measured oracle can price one (layer, kernel, batch) combination.
+type convProbe struct {
+	conv    *nn.Conv2D
+	qconv   *nn.QuantConv2D
+	relu    bool
+	tag     string
+	inputs  *tensor.Arena
+	scratch *tensor.Arena
+	x       *tensor.Tensor
+}
+
+func (p *convProbe) OpTag(n *graph.Node) string { return p.tag }
+
+func (p *convProbe) BindOp(n *graph.Node, batch int) error {
+	p.inputs.Reset()
+	shape := append([]int{batch}, n.InShape...)
+	t := p.inputs.Get(shape...)
+	d := t.Data()
+	seed := uint32(2463534242)
+	for i := range d {
+		seed ^= seed << 13
+		seed ^= seed >> 17
+		seed ^= seed << 5
+		d[i] = float32(int32(seed))/float32(1<<31)*0.999 + 0.0005
+	}
+	p.x = t
+	return nil
+}
+
+func (p *convProbe) RunOp() {
+	p.scratch.Reset()
+	if p.qconv != nil {
+		p.qconv.InferFused(p.x, p.scratch, p.relu)
+		return
+	}
+	p.conv.InferFused(p.x, p.scratch, p.relu)
+}
+
+// AutotuneKernels measures every eligible kernel variant of every conv
+// layer in fp32Net at the requested batch buckets, applies the fastest
+// mix, and gates it on calib. qnet, when non-nil, is an already-gated
+// int8 copy of fp32Net (QuantizeGated's net) whose conv layers compete
+// in the same measurement; layers where int8 wins at the serving bucket
+// are served by the int8 wrapper. input is the per-sample input shape
+// (C,H,W). fp32Net's conv layers are retargeted in place; the returned
+// plan's Served net shares their weights.
+//
+// calib may be nil, in which case Winograd (the only non-exact fp32
+// kernel) is demoted wherever it wins — there is no data to prove it
+// safe — and exact kernels are still tuned.
+func AutotuneKernels(fp32Net, qnet *nn.Sequential, input []int, calib *terrain.Dataset, opts KernelOptions) (*KernelPlan, error) {
+	if len(input) != 3 {
+		return nil, fmt.Errorf("model: autotune input shape must be (C,H,W), got %v", input)
+	}
+	if len(opts.Batches) == 0 {
+		opts.Batches = []int{1, 16}
+	}
+	if opts.IoU == 0 {
+		opts.IoU = 0.5
+	}
+	if opts.EvalBatch <= 0 {
+		opts.EvalBatch = 16
+	}
+	maxBatch, minBatch := opts.Batches[0], opts.Batches[0]
+	for _, b := range opts.Batches {
+		if b > maxBatch {
+			maxBatch = b
+		}
+		if b < minBatch {
+			minBatch = b
+		}
+	}
+
+	tun, err := collectTunables(fp32Net, qnet, input)
+	if err != nil {
+		return nil, err
+	}
+	plan := &KernelPlan{Batches: opts.Batches, Epsilon: opts.MaxAPDrop}
+
+	// Reference AP before any retargeting (kernels are still im2col).
+	if calib != nil && len(calib.Samples) > 0 {
+		plan.FP32AP = evalAP(fp32Net, calib, opts.IoU, opts.EvalBatch)
+	} else {
+		calib = nil
+	}
+
+	// Measure every (layer, variant, bucket) through the oracle.
+	probe := &convProbe{inputs: tensor.NewArena(), scratch: tensor.NewArena()}
+	oracle := ios.NewMeasuredOracle(probe, opts.Cache)
+	plan.Cache = oracle.Cache()
+	type variantCost map[nn.ConvKernel]map[int]float64
+	fpCosts := make([]variantCost, len(tun))
+	i8Costs := make([]map[int]float64, len(tun))
+	for li, tc := range tun {
+		fpCosts[li] = make(variantCost)
+		for _, k := range nn.ConvKernels() {
+			if !tc.conv.KernelEligible(k) {
+				continue
+			}
+			replica, err := nn.CloneShared(tc.conv)
+			if err != nil {
+				return nil, fmt.Errorf("model: autotune: %w", err)
+			}
+			rc := replica.(*nn.Conv2D)
+			rc.SetKernels(k, k)
+			probe.conv, probe.qconv, probe.relu = rc, nil, tc.relu
+			if k == nn.KernelIm2Col {
+				probe.tag = "" // matches untagged fp32 keys shared with IOS planning
+			} else {
+				probe.tag = "kern=" + k.String() + ":" + k.String()
+			}
+			fpCosts[li][k] = make(map[int]float64)
+			for _, b := range opts.Batches {
+				fpCosts[li][k][b] = oracle.StageCost([]ios.Group{{tc.node}}, b)
+			}
+		}
+		if tc.qconv != nil {
+			probe.conv, probe.qconv, probe.relu = nil, tc.qconv, tc.relu
+			probe.tag = "int8"
+			i8Costs[li] = make(map[int]float64)
+			for _, b := range opts.Batches {
+				i8Costs[li][b] = oracle.StageCost([]ios.Group{{tc.node}}, b)
+			}
+		}
+	}
+	if err := oracle.Err(); err != nil {
+		return nil, fmt.Errorf("model: autotune: %w", err)
+	}
+
+	// Select per layer: fastest fp32 kernel per bucket; precision by the
+	// serving (largest) bucket.
+	bestAt := func(li int, b int) (nn.ConvKernel, float64) {
+		best, bestCost := nn.KernelIm2Col, fpCosts[li][nn.KernelIm2Col][b]
+		for _, k := range nn.ConvKernels() {
+			if c, ok := fpCosts[li][k]; ok && c[b] < bestCost {
+				best, bestCost = k, c[b]
+			}
+		}
+		return best, bestCost
+	}
+	bestExactAt := func(li int, b int) nn.ConvKernel {
+		best, bestCost := nn.KernelIm2Col, fpCosts[li][nn.KernelIm2Col][b]
+		for _, k := range nn.ConvKernels() {
+			if c, ok := fpCosts[li][k]; ok && k.Exact() && c[b] < bestCost {
+				best, bestCost = k, c[b]
+			}
+		}
+		return best
+	}
+	type choice struct {
+		int8   bool
+		b1, bn nn.ConvKernel
+	}
+	choices := make([]choice, len(tun))
+	for li := range tun {
+		b1, _ := bestAt(li, minBatch)
+		bn, bnCost := bestAt(li, maxBatch)
+		ch := choice{b1: b1, bn: bn}
+		if i8Costs[li] != nil && i8Costs[li][maxBatch] < bnCost {
+			ch.int8 = true
+		}
+		choices[li] = ch
+	}
+
+	apply := func() {
+		for li, tc := range tun {
+			if choices[li].int8 {
+				continue
+			}
+			tc.conv.SetKernels(choices[li].b1, choices[li].bn)
+		}
+	}
+	assemble := func() *nn.Sequential {
+		if qnet == nil {
+			return fp32Net
+		}
+		// Start from the quantized net — its linears (and any other gated
+		// modules) keep their int8 kernels — and swap in the tuned fp32
+		// conv wherever the fp32 mix measured faster.
+		qmods := qnet.Modules()
+		mods := make([]nn.Module, len(qmods))
+		copy(mods, qmods)
+		for li, tc := range tun {
+			if !choices[li].int8 {
+				mods[tc.idx] = tc.conv
+			}
+		}
+		return nn.NewSequential(mods...)
+	}
+
+	apply()
+	plan.Served = assemble()
+
+	// Accuracy gate and demotion ladder. Exact all-fp32 mixes skip the
+	// evaluation entirely: they are bitwise-identical to the reference.
+	// With a quantized net in play the served net carries int8 linears,
+	// so the mix is never exact.
+	mixExact := func() bool {
+		if qnet != nil {
+			return false
+		}
+		for _, ch := range choices {
+			if ch.int8 || !ch.b1.Exact() || !ch.bn.Exact() {
+				return false
+			}
+		}
+		return true
+	}
+	demoteWinograd := func() {
+		for li := range choices {
+			if !choices[li].b1.Exact() {
+				choices[li].b1 = bestExactAt(li, minBatch)
+			}
+			if !choices[li].bn.Exact() {
+				choices[li].bn = bestExactAt(li, maxBatch)
+			}
+		}
+	}
+	if !mixExact() {
+		if calib == nil {
+			// No data to prove Winograd safe: demote it, keep int8 choices
+			// only if a quantized net was supplied (it passed its own gate).
+			demoteWinograd()
+			plan.Demotions = 1
+			apply()
+			plan.Served = assemble()
+		} else {
+			plan.TunedAP = evalAP(plan.Served, calib, opts.IoU, opts.EvalBatch)
+			plan.Drop = plan.FP32AP - plan.TunedAP
+			if plan.Drop > opts.MaxAPDrop {
+				demoteWinograd()
+				plan.Demotions = 1
+				apply()
+				plan.Served = assemble()
+				if !mixExact() {
+					plan.TunedAP = evalAP(plan.Served, calib, opts.IoU, opts.EvalBatch)
+					plan.Drop = plan.FP32AP - plan.TunedAP
+					if plan.Drop > opts.MaxAPDrop {
+						// Final rung: pure tuned-fp32 exact mix, bitwise safe.
+						for li := range choices {
+							choices[li].int8 = false
+						}
+						plan.Demotions = 2
+						apply()
+						plan.Served = fp32Net
+						plan.TunedAP, plan.Drop = plan.FP32AP, 0
+					}
+				} else {
+					plan.TunedAP, plan.Drop = plan.FP32AP, 0
+				}
+			}
+		}
+	} else if calib != nil {
+		plan.TunedAP, plan.Drop = plan.FP32AP, 0
+	}
+
+	// Report.
+	for li, tc := range tun {
+		ch := choices[li]
+		lk := LayerKernel{Layer: tc.idx, Name: tc.name, Precision: string(PrecisionFP32)}
+		if ch.int8 {
+			lk.Precision = string(PrecisionInt8)
+			lk.Batch1, lk.BatchN = KernelInt8, KernelInt8
+			lk.SpeedupB1 = ratio(fpCosts[li][nn.KernelIm2Col][minBatch], i8Costs[li][minBatch])
+			lk.SpeedupBN = ratio(fpCosts[li][nn.KernelIm2Col][maxBatch], i8Costs[li][maxBatch])
+		} else {
+			lk.Batch1, lk.BatchN = ch.b1.String(), ch.bn.String()
+			lk.SpeedupB1 = ratio(fpCosts[li][nn.KernelIm2Col][minBatch], fpCosts[li][ch.b1][minBatch])
+			lk.SpeedupBN = ratio(fpCosts[li][nn.KernelIm2Col][maxBatch], fpCosts[li][ch.bn][maxBatch])
+		}
+		plan.Layers = append(plan.Layers, lk)
+	}
+	return plan, nil
+}
+
+func ratio(ref, v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return ref / v
+}
+
+// collectTunables walks the fp32 net, tracking activation shapes, and
+// builds one tunable (with a synthetic cost-model node) per conv layer.
+// qnet, when present, must be structurally parallel (QuantizeForInference
+// preserves module indices).
+func collectTunables(fp32Net, qnet *nn.Sequential, input []int) ([]tunable, error) {
+	var qmods []nn.Module
+	if qnet != nil {
+		qmods = qnet.Modules()
+		if len(qmods) != len(fp32Net.Modules()) {
+			return nil, fmt.Errorf("model: autotune: quantized net has %d modules, fp32 has %d",
+				len(qmods), len(fp32Net.Modules()))
+		}
+	}
+	var tun []tunable
+	shape := []int{1, input[0], input[1], input[2]}
+	mods := fp32Net.Modules()
+	for i, m := range mods {
+		if conv, ok := nn.Unwrap(m).(*nn.Conv2D); ok && conv.Algo == nn.ConvIm2Col {
+			c, h, w := shape[1], shape[2], shape[3]
+			oh, ow := conv.Geom.OutSize(h, w)
+			in := &graph.Node{ID: 0, Kind: graph.OpInput, OutShape: []int{c, h, w}}
+			node := &graph.Node{
+				ID:               1,
+				Name:             fmt.Sprintf("conv%d", len(tun)),
+				Kind:             graph.OpConv,
+				InShape:          []int{c, h, w},
+				OutShape:         []int{conv.OutC, oh, ow},
+				Inputs:           []*graph.Node{in},
+				FLOPsPerSample:   2 * int64(conv.OutC) * int64(oh) * int64(ow) * int64(c) * int64(conv.Geom.KH) * int64(conv.Geom.KW),
+				WeightBytes:      int64(conv.OutC) * int64(c) * int64(conv.Geom.KH) * int64(conv.Geom.KW) * 4,
+				ThreadsPerSample: int64(conv.OutC) * int64(oh) * int64(ow),
+			}
+			tc := tunable{
+				idx:  i,
+				conv: conv,
+				node: node,
+				name: fmt.Sprintf("conv%d_%dx%dx%d", len(tun), conv.OutC, conv.Geom.KH, conv.Geom.KW),
+			}
+			if i+1 < len(mods) {
+				if _, isRelu := mods[i+1].(*nn.ReLU); isRelu {
+					tc.relu = true
+				}
+			}
+			if qmods != nil {
+				if qc, ok := qmods[i].(*nn.QuantConv2D); ok {
+					tc.qconv = qc
+				}
+			}
+			tun = append(tun, tc)
+		}
+		shape = m.OutShape(shape)
+	}
+	return tun, nil
+}

@@ -38,6 +38,22 @@ type Conv2D struct {
 	packed   *tensor.Packed
 	colsTask convColsTask
 	gemmTask convGemmTask
+
+	// per-bucket kernel choice (autotuner-selected; im2col by default)
+	// plus the alternate weight layouts those kernels read. Packed
+	// layouts are immutable and shared across replicas; task descriptors
+	// are per-replica.
+	kernB1, kernBN ConvKernel
+	wino           *tensor.Winograd
+	nchwc          *tensor.PackedNCHWc
+	winoBatch      winoBatchTask
+	winoIn         winoInTask
+	winoMul        winoMulTask
+	winoOut        winoOutTask
+	nchwcBatch     nchwcBatchTask
+	nchwcB1        nchwcBlockTask
+	directBatch    directBatchTask
+	directB1       directChanTask
 }
 
 // NewConv2D creates a convolution layer with He initialization. Kernel is
@@ -237,13 +253,17 @@ func (c *Conv2D) backwardDirect(gradOut, gradIn *tensor.Tensor) {
 	}
 }
 
-// prepareInference packs the weight matrix into panel layout for the
-// fast-path micro-kernel. The packed panels are immutable and shared by
-// every replica cloned from this layer.
+// prepareInference packs the weight layouts the selected kernels read
+// (panel layout for im2col, transformed/blocked layouts for the tuned
+// variants). Packed state is immutable and shared by every replica
+// cloned from this layer.
 func (c *Conv2D) prepareInference() {
-	if c.Algo == ConvIm2Col && c.packed == nil {
-		c.packed = tensor.PackMatrix(c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW))
+	if c.Algo != ConvIm2Col {
+		return
 	}
+	c.ensureKernel(KernelIm2Col)
+	c.ensureKernel(c.kernB1)
+	c.ensureKernel(c.kernBN)
 }
 
 // cloneShared implements sharedCloner: weights, bias and packed panels
@@ -257,6 +277,10 @@ func (c *Conv2D) cloneShared() Module {
 		Weight: c.Weight,
 		Bias:   c.Bias,
 		packed: c.packed,
+		kernB1: c.kernB1,
+		kernBN: c.kernBN,
+		wino:   c.wino,
+		nchwc:  c.nchwc,
 	}
 }
 
@@ -294,6 +318,25 @@ func (c *Conv2D) inferFused(x *tensor.Tensor, a *tensor.Arena, relu bool) *tenso
 	}
 
 	c.prepareInference()
+
+	// Per-bucket kernel dispatch: the autotuner picks the fastest
+	// measured variant per (layer, batch bucket); im2col is the default.
+	kern := c.kernBN
+	if n == 1 {
+		kern = c.kernB1
+	}
+	switch kern {
+	case KernelWinograd:
+		c.inferWinograd(out, x, a, relu, n, ch, h, w, oh, ow)
+		return out
+	case KernelNCHWc:
+		c.inferNCHWc(out, x, relu, n, ch, h, w, oh, ow)
+		return out
+	case KernelDirect:
+		c.inferDirect(out, x, relu, n, ch, h, w, oh, ow)
+		return out
+	}
+
 	kdim := c.InC * c.Geom.KH * c.Geom.KW
 	ohw := oh * ow
 

@@ -81,6 +81,30 @@ func PrepareInference(m Module) {
 	}
 }
 
+// PrepareInferenceParallel is PrepareInference with the per-layer
+// packing work (panel packing, Winograd transform, NCHWc blocking)
+// spread across the worker pool. Layers pack independent state, so the
+// only coordination is the pool itself; a nested ParallelRange inside a
+// layer's packing degrades inline. Use at load time where cold-start
+// latency matters (cluster respawn); the result is identical to
+// PrepareInference.
+func PrepareInferenceParallel(m Module) {
+	var ps []preparer
+	collectPreparers(m, &ps)
+	tensor.ParallelFor(len(ps), func(i int) { ps[i].prepareInference() })
+}
+
+func collectPreparers(m Module, ps *[]preparer) {
+	if p, ok := m.(preparer); ok {
+		*ps = append(*ps, p)
+	}
+	if s, ok := m.(*Sequential); ok {
+		for _, child := range s.mods {
+			collectPreparers(child, ps)
+		}
+	}
+}
+
 // CloneShared builds an inference replica of a module tree: immutable
 // state (weight tensors, packed panels, batch-norm running statistics)
 // is shared with the original, while per-call caches are fresh, so the

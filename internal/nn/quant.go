@@ -153,30 +153,47 @@ type QuantReport struct {
 // execution and Forward (for the tracing path) — but not Backward.
 func QuantizeForInference(s *Sequential, cal *Calibration) (*Sequential, QuantReport, error) {
 	var rep QuantReport
-	PrepareInference(s)
+	PrepareInferenceParallel(s)
 	out := &Sequential{mods: make([]Module, len(s.mods))}
-	for i, m := range s.mods {
+	// Each layer's rewrite (weight quantization + int8 packing, or a
+	// shared clone) touches only that layer, so the per-layer work spreads
+	// across the worker pool; the report and error fold serially after.
+	type rewrite struct {
+		mod                 Module
+		quantized, fallback bool
+		err                 error
+	}
+	res := make([]rewrite, len(s.mods))
+	tensor.ParallelFor(len(s.mods), func(i int) {
+		m := s.mods[i]
 		switch t := m.(type) {
 		case *Conv2D:
 			if qc, ok := newQuantConv2D(t, cal.Observer(i)); ok {
-				out.mods[i] = qc
-				rep.Quantized++
-				continue
+				res[i] = rewrite{mod: qc, quantized: true}
+				return
 			}
-			rep.Fallback++
+			res[i].fallback = true
 		case *Linear:
 			if ql, ok := newQuantLinear(t, cal.Observer(i)); ok {
-				out.mods[i] = ql
-				rep.Quantized++
-				continue
+				res[i] = rewrite{mod: ql, quantized: true}
+				return
 			}
-			rep.Fallback++
+			res[i].fallback = true
 		}
 		c, err := CloneShared(m)
-		if err != nil {
-			return nil, rep, fmt.Errorf("nn: quantize: %w", err)
+		res[i].mod, res[i].err = c, err
+	})
+	for i, r := range res {
+		if r.err != nil {
+			return nil, rep, fmt.Errorf("nn: quantize: %w", r.err)
 		}
-		out.mods[i] = c
+		if r.quantized {
+			rep.Quantized++
+		}
+		if r.fallback {
+			rep.Fallback++
+		}
+		out.mods[i] = r.mod
 	}
 	return out, rep, nil
 }

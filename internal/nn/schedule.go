@@ -273,16 +273,24 @@ func (p *GraphProgram) runOp(op *compiledOp, outs []*tensor.Tensor, a *tensor.Ar
 	}
 }
 
-// OpTag implements the measured oracle's optional precision tagging:
-// nodes bound to int8 kernels are priced separately from fp32 ones, so a
-// warm fp32 cost cache stays valid when a quantized program is measured.
+// OpTag implements the measured oracle's optional precision/kernel
+// tagging: nodes bound to int8 kernels are priced separately from fp32
+// ones, and fp32 convs running a tuned kernel mix are priced separately
+// from the default im2col path, so a warm cost cache stays valid across
+// quantization and kernel retuning. The tag for a tuned conv is
+// "kern=<batch1>:<batchN>" (e.g. "kern=direct:winograd").
 func (p *GraphProgram) OpTag(n *graph.Node) string {
 	if n.ID < 0 || n.ID >= len(p.byNode) || p.byNode[n.ID] == nil {
 		return ""
 	}
-	switch p.byNode[n.ID].kind {
+	op := p.byNode[n.ID]
+	switch op.kind {
 	case execQuantConv, execQuantLinear:
 		return "int8"
+	case execConv:
+		if b1, bn := op.conv.Kernels(); b1 != KernelIm2Col || bn != KernelIm2Col {
+			return "kern=" + b1.String() + ":" + bn.String()
+		}
 	}
 	return ""
 }
@@ -368,9 +376,9 @@ func NewScheduleExecutor(prog *GraphProgram, sched *ios.Schedule) (*ScheduleExec
 		return nil, fmt.Errorf("nn: executor: %w", err)
 	}
 	e := &ScheduleExecutor{
-		prog: prog,
+		prog:  prog,
 		sched: sched,
-		outs: make([]*tensor.Tensor, len(prog.g.Nodes)),
+		outs:  make([]*tensor.Tensor, len(prog.g.Nodes)),
 	}
 	maxGroups := 0
 	for _, st := range sched.Stages {

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"drainnet/internal/model"
+	"drainnet/internal/nn"
+)
+
+// A server started with a tuned kernel plan must report the per-layer
+// choices on /v1/model, export the drainnet_kernel_choice gauge, and
+// still serve detections through the retargeted kernels.
+func TestServeKernelPlanReported(t *testing.T) {
+	cfg := model.OriginalSPPNet().Scaled(16).WithInput(4, 40)
+	net, err := cfg.Build(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retarget the convs the way the autotuner would and hand the server
+	// the matching plan.
+	var layers []model.LayerKernel
+	for i, m := range net.Modules() {
+		c, ok := nn.Unwrap(m).(*nn.Conv2D)
+		if !ok || c.Algo != nn.ConvIm2Col {
+			continue
+		}
+		bn := nn.KernelNCHWc
+		if c.KernelEligible(nn.KernelWinograd) {
+			bn = nn.KernelWinograd
+		}
+		c.SetKernels(nn.KernelDirect, bn)
+		layers = append(layers, model.LayerKernel{
+			Layer: i, Name: "conv" + string(rune('0'+len(layers))),
+			Precision: string(model.PrecisionFP32),
+			Batch1:    nn.KernelDirect.String(), BatchN: bn.String(),
+			SpeedupB1: 1.1, SpeedupBN: 1.5,
+		})
+	}
+	if len(layers) == 0 {
+		t.Fatal("test net has no tunable convs")
+	}
+	plan := &model.KernelPlan{Served: net, Layers: layers, Batches: []int{1, 16}}
+
+	s, err := NewWithOptions(cfg, net, 0.5, Options{
+		Replicas: 1, MaxWait: time.Millisecond, Kernels: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var info ModelInfo
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(info.Kernels) != len(layers) {
+		t.Fatalf("/v1/model reports %d kernel layers, want %d", len(info.Kernels), len(layers))
+	}
+	for i, l := range info.Kernels {
+		if l != layers[i] {
+			t.Fatalf("kernel layer %d = %+v, want %+v", i, l, layers[i])
+		}
+	}
+
+	dresp := postJSON(t, ts.URL+"/v1/detect", validDetectRequest())
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status %d", dresp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	want := `drainnet_kernel_choice{layer="conv0",batch="1",kernel="direct"} 1`
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("metrics missing kernel choice gauge %q:\n%s", want, body)
+	}
+}
+
+// Without a plan, /v1/model omits the kernels block entirely.
+func TestServeKernelPlanOmitted(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), `"kernels"`) {
+		t.Fatalf("/v1/model reports kernels without a plan:\n%s", body)
+	}
+}

@@ -143,6 +143,13 @@ type ModelInfo struct {
 	// ("fp32" or "int8") — after any accuracy-gate fallback, not the
 	// requested mode.
 	Precision string `json:"precision"`
+	// Kernels, when the server was started with a tuned kernel plan
+	// (Options.Kernels), reports every conv layer's serving choice:
+	// precision, per-bucket kernel, and measured speedup over im2col.
+	Kernels []model.LayerKernel `json:"kernels,omitempty"`
+	// KernelDemotions counts accuracy-gate demotion steps the kernel
+	// autotuner took (0 = first measured mix served).
+	KernelDemotions int `json:"kernel_demotions,omitempty"`
 }
 
 // Options configures the serving pool behind the HTTP API. The zero
@@ -171,6 +178,11 @@ type Options struct {
 	// New (see batcher.Options.Precision; empty → fp32). It is reported
 	// by /v1/model and labels the request latency histogram.
 	Precision model.Precision
+	// Kernels is the autotuned per-layer kernel plan the network was
+	// retargeted with (model.AutotuneKernels). It is reported by
+	// /v1/model and exported as the drainnet_kernel_choice gauge; nil
+	// means the default im2col kernels everywhere.
+	Kernels *model.KernelPlan
 	// SweepDir is the checkpoint directory for /v1/sweep jobs. Empty
 	// keeps jobs in memory only — they die with the process instead of
 	// surviving a graceful drain.
@@ -268,6 +280,18 @@ func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opt
 		"HTTP requests, by route and status code.", "route", "code")
 	s.httpDuration = tel.Registry().HistogramVec("drainnet_http_request_duration_seconds",
 		"HTTP request handling time, by route.", telemetry.TimeBuckets, "route")
+	if opts.Kernels != nil {
+		// One gauge sample per (layer, bucket) set to 1 on the chosen
+		// kernel, so dashboards can plot the serving mix and alert when a
+		// restart's autotune picks a different kernel than yesterday's.
+		choice := tel.Registry().GaugeVec("drainnet_kernel_choice",
+			"Autotuned conv kernel serving each layer (1 = chosen), by batch bucket.",
+			"layer", "batch", "kernel")
+		for _, l := range opts.Kernels.Layers {
+			choice.With(l.Name, "1", l.Batch1).Set(1)
+			choice.With(l.Name, "n", l.BatchN).Set(1)
+		}
+	}
 	return s, nil
 }
 
@@ -426,7 +450,7 @@ func (s *Server) handleControlBatching(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	popts := s.pool.Options()
-	writeJSON(w, http.StatusOK, ModelInfo{
+	info := ModelInfo{
 		Name:      s.cfg.Name,
 		Notation:  s.cfg.Notation(),
 		InBands:   s.cfg.InBands,
@@ -436,7 +460,12 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		Replicas:  popts.Replicas,
 		MaxBatch:  popts.MaxBatch,
 		Precision: string(popts.Precision),
-	})
+	}
+	if s.opts.Kernels != nil {
+		info.Kernels = s.opts.Kernels.Layers
+		info.KernelDemotions = s.opts.Kernels.Demotions
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

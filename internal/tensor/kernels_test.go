@@ -1,0 +1,246 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refConv is the reference convolution every kernel variant is measured
+// against: im2col lowering followed by the reference MatMulInto, with
+// bias and ReLU applied as separate passes (the exact semantics of the
+// packed GEMM epilogue).
+func refConv(src, wt []float32, inC, h, w int, g ConvGeom, outC int, bias []float32, relu bool) []float32 {
+	oh, ow := g.OutSize(h, w)
+	cols := New(inC*g.KH*g.KW, oh*ow)
+	Im2ColSlice(cols.data, src, inC, h, w, g)
+	a := FromSlice(wt, outC, inC*g.KH*g.KW)
+	out := New(outC, oh*ow)
+	MatMulInto(out, a, cols)
+	for oc := 0; oc < outC; oc++ {
+		row := out.data[oc*oh*ow : (oc+1)*oh*ow]
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		for i, v := range row {
+			v += b
+			if relu && !(v > 0) {
+				v = 0
+			}
+			row[i] = v
+		}
+	}
+	return out.data
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+// Winograd reassociates the kernel sums, so parity is within a tight
+// float32 tolerance rather than bitwise. Shapes sweep odd and even
+// spatial dims and both pad settings used by the model family.
+func TestWinogradParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct{ inC, outC, h, w, pad int }{
+		{1, 1, 4, 4, 0},
+		{3, 5, 7, 9, 1},
+		{4, 16, 50, 50, 1},
+		{16, 32, 25, 25, 1},
+		{32, 64, 12, 12, 1},
+		{2, 3, 5, 6, 0},
+		{5, 4, 13, 11, 1},
+	}
+	for _, tc := range cases {
+		for _, relu := range []bool{false, true} {
+			g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: tc.pad, PadW: tc.pad}
+			if err := g.Validate(tc.h, tc.w); err != nil {
+				t.Fatalf("bad case %+v: %v", tc, err)
+			}
+			src := randSlice(rng, tc.inC*tc.h*tc.w)
+			wt := randSlice(rng, tc.outC*tc.inC*9)
+			bias := randSlice(rng, tc.outC)
+			want := refConv(src, wt, tc.inC, tc.h, tc.w, g, tc.outC, bias, relu)
+
+			wg := PackWinograd(FromSlice(wt, tc.outC, tc.inC, 3, 3))
+			oh, ow := g.OutSize(tc.h, tc.w)
+			got := make([]float32, tc.outC*oh*ow)
+			scratch := make([]float32, wg.ScratchLen(oh, ow))
+			wg.ConvInto(got, src, tc.h, tc.w, tc.pad, tc.pad, bias, relu, scratch)
+
+			for i := range want {
+				diff := math.Abs(float64(got[i] - want[i]))
+				tol := 1e-4 * math.Max(1, math.Abs(float64(want[i])))
+				if diff > tol {
+					t.Fatalf("case %+v relu=%v: element %d winograd %v vs reference %v (diff %v)",
+						tc, relu, i, got[i], want[i], diff)
+				}
+			}
+		}
+	}
+}
+
+// The NCHWc kernel keeps the im2col GEMM's per-element accumulation
+// order, so parity is bitwise across arbitrary kernels, strides and
+// padding — including shapes where padding rows/columns are skipped
+// entirely.
+func TestNCHWcParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	type kcase struct{ inC, outC, h, w, kh, kw, sh, sw, ph, pw int }
+	cases := []kcase{
+		{1, 1, 5, 5, 3, 3, 1, 1, 1, 1},
+		{4, 16, 50, 50, 3, 3, 1, 1, 1, 1},
+		{3, 7, 11, 13, 3, 3, 2, 2, 1, 1},
+		{2, 5, 9, 9, 5, 5, 1, 1, 2, 2},
+		{5, 6, 8, 10, 1, 1, 1, 1, 0, 0},
+		{6, 9, 12, 7, 3, 5, 2, 3, 0, 2},
+		{8, 4, 6, 6, 3, 3, 1, 1, 0, 0},
+	}
+	// Plus randomized shapes to catch corner interactions.
+	for i := 0; i < 12; i++ {
+		kc := kcase{
+			inC: 1 + rng.Intn(6), outC: 1 + rng.Intn(10),
+			h: 4 + rng.Intn(12), w: 4 + rng.Intn(12),
+			kh: 1 + 2*rng.Intn(2), kw: 1 + 2*rng.Intn(2),
+			sh: 1 + rng.Intn(2), sw: 1 + rng.Intn(2),
+			ph: rng.Intn(2), pw: rng.Intn(2),
+		}
+		cases = append(cases, kc)
+	}
+	for _, tc := range cases {
+		for _, relu := range []bool{false, true} {
+			g := ConvGeom{KH: tc.kh, KW: tc.kw, StrideH: tc.sh, StrideW: tc.sw, PadH: tc.ph, PadW: tc.pw}
+			if g.Validate(tc.h, tc.w) != nil {
+				continue
+			}
+			src := randSlice(rng, tc.inC*tc.h*tc.w)
+			wt := randSlice(rng, tc.outC*tc.inC*tc.kh*tc.kw)
+			bias := randSlice(rng, tc.outC)
+			want := refConv(src, wt, tc.inC, tc.h, tc.w, g, tc.outC, bias, relu)
+
+			p := PackNCHWc(FromSlice(wt, tc.outC, tc.inC, tc.kh, tc.kw), g)
+			oh, ow := g.OutSize(tc.h, tc.w)
+			got := make([]float32, tc.outC*oh*ow)
+			p.ConvBlocks(got, src, tc.h, tc.w, bias, relu, 0, p.Blocks())
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("case %+v relu=%v: element %d nchwc %v != reference %v (bitwise)",
+						tc, relu, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The direct kernel shares the NCHWc accumulation order, so it is also
+// held to bitwise parity.
+func TestDirectConvParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	type kcase struct{ inC, outC, h, w, kh, kw, sh, sw, ph, pw int }
+	cases := []kcase{
+		{1, 4, 10, 10, 3, 3, 1, 1, 1, 1},
+		{4, 16, 50, 50, 3, 3, 1, 1, 1, 1},
+		{3, 2, 7, 9, 5, 3, 2, 1, 2, 1},
+		{2, 3, 6, 6, 1, 1, 2, 2, 0, 0},
+	}
+	for i := 0; i < 10; i++ {
+		kc := kcase{
+			inC: 1 + rng.Intn(5), outC: 1 + rng.Intn(8),
+			h: 4 + rng.Intn(10), w: 4 + rng.Intn(10),
+			kh: 1 + 2*rng.Intn(2), kw: 1 + 2*rng.Intn(2),
+			sh: 1 + rng.Intn(3), sw: 1 + rng.Intn(3),
+			ph: rng.Intn(3), pw: rng.Intn(3),
+		}
+		cases = append(cases, kc)
+	}
+	for _, tc := range cases {
+		for _, relu := range []bool{false, true} {
+			g := ConvGeom{KH: tc.kh, KW: tc.kw, StrideH: tc.sh, StrideW: tc.sw, PadH: tc.ph, PadW: tc.pw}
+			if g.Validate(tc.h, tc.w) != nil {
+				continue
+			}
+			src := randSlice(rng, tc.inC*tc.h*tc.w)
+			wt := randSlice(rng, tc.outC*tc.inC*tc.kh*tc.kw)
+			bias := randSlice(rng, tc.outC)
+			want := refConv(src, wt, tc.inC, tc.h, tc.w, g, tc.outC, bias, relu)
+
+			oh, ow := g.OutSize(tc.h, tc.w)
+			got := make([]float32, tc.outC*oh*ow)
+			DirectConvChans(got, src, wt, tc.inC, tc.h, tc.w, g, tc.outC, bias, relu, 0, tc.outC)
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("case %+v relu=%v: element %d direct %v != reference %v (bitwise)",
+						tc, relu, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Range-parameterized phases must compose to the same answer as the
+// full-range convenience entry points (this is how the batch-1 path
+// spreads one image across the pool).
+func TestKernelRangeDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	const inC, outC, h, w, pad = 6, 10, 17, 15, 1
+	g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: pad, PadW: pad}
+	src := randSlice(rng, inC*h*w)
+	wt := randSlice(rng, outC*inC*9)
+	bias := randSlice(rng, outC)
+	oh, ow := g.OutSize(h, w)
+
+	// Winograd: split every phase at an uneven boundary.
+	wg := PackWinograd(FromSlice(wt, outC, inC, 3, 3))
+	whole := make([]float32, outC*oh*ow)
+	scratch := make([]float32, wg.ScratchLen(oh, ow))
+	wg.ConvInto(whole, src, h, w, pad, pad, bias, true, scratch)
+
+	split := make([]float32, outC*oh*ow)
+	ty, tx := winoTiles(oh, ow)
+	nT := ty * tx
+	v := scratch[:winoPos*inC*nT]
+	m := scratch[winoPos*inC*nT : winoPos*(inC+outC)*nT]
+	wg.TransformInput(v, src, h, w, pad, pad, 0, 2)
+	wg.TransformInput(v, src, h, w, pad, pad, 2, inC)
+	wg.MulPositions(m, v, nT, 0, 5)
+	wg.MulPositions(m, v, nT, 5, winoPos)
+	wg.TransformOutput(split, m, oh, ow, bias, true, 0, 3)
+	wg.TransformOutput(split, m, oh, ow, bias, true, 3, outC)
+	for i := range whole {
+		if whole[i] != split[i] {
+			t.Fatalf("winograd phase split diverges at %d: %v vs %v", i, split[i], whole[i])
+		}
+	}
+
+	// NCHWc: block ranges.
+	p := PackNCHWc(FromSlice(wt, outC, inC, 3, 3), g)
+	pw := make([]float32, outC*oh*ow)
+	p.ConvBlocks(pw, src, h, w, bias, true, 0, p.Blocks())
+	ps := make([]float32, outC*oh*ow)
+	p.ConvBlocks(ps, src, h, w, bias, true, 0, 1)
+	p.ConvBlocks(ps, src, h, w, bias, true, 1, p.Blocks())
+	for i := range pw {
+		if pw[i] != ps[i] {
+			t.Fatalf("nchwc block split diverges at %d", i)
+		}
+	}
+
+	// Direct: channel ranges.
+	dw := make([]float32, outC*oh*ow)
+	DirectConvChans(dw, src, wt, inC, h, w, g, outC, bias, true, 0, outC)
+	ds := make([]float32, outC*oh*ow)
+	DirectConvChans(ds, src, wt, inC, h, w, g, outC, bias, true, 0, 4)
+	DirectConvChans(ds, src, wt, inC, h, w, g, outC, bias, true, 4, outC)
+	for i := range dw {
+		if dw[i] != ds[i] {
+			t.Fatalf("direct channel split diverges at %d", i)
+		}
+	}
+}
