@@ -4,9 +4,10 @@ GO ?= go
 
 .PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
         test-race-fastpath test-race-ios test-race-sweep test-race-cluster \
-        test-race-kernels smoke-sweep smoke-cluster bench-cluster check-allocs \
+        test-race-kernels test-race-dynamic smoke-sweep smoke-cluster \
+        bench-cluster check-allocs \
         bench bench-serve bench-telemetry bench-inference bench-kernels \
-        bench-ios test-short \
+        bench-ios bench-dynamic test-short \
         bench-fast experiments experiments-train examples renders clean
 
 all: build vet test
@@ -17,7 +18,7 @@ all: build vet test
 # the sweep job runner + the cluster router/supervisor), the sweep
 # kill-and-resume smoke, the cluster kill-under-load smoke, and the
 # zero-allocation regression guards on both serving forwards.
-check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep test-race-cluster test-race-kernels smoke-sweep smoke-cluster check-allocs
+check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep test-race-cluster test-race-kernels test-race-dynamic smoke-sweep smoke-cluster check-allocs
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
@@ -79,13 +80,19 @@ test-race-ios:
 test-race-kernels:
 	GOMAXPROCS=4 $(GO) test -race -run 'Winograd|NCHWc|DirectConv|Kernel|TestTuned' ./internal/tensor/ ./internal/nn/ ./internal/model/
 
+# Dynamic inference path under the race detector: the masked kernels'
+# shared stats, the early-exit executor, the difficulty router inside
+# Submit, and the sweep exit accounting all run concurrently.
+test-race-dynamic:
+	GOMAXPROCS=4 $(GO) test -race -run 'Mask|Dynamic|Exit' ./internal/tensor/ ./internal/nn/ ./internal/model/ ./internal/serve/... ./internal/sweep/
+
 # Alloc-regression guard: every steady-state serving forward (the
 # sequential fast path, the scheduled IOS executor, the quantized
 # int8 path and the autotuned Winograd/NCHWc/direct kernel mix) must
 # report exactly 0 allocs per run (testing.AllocsPerRun inside the
 # tests).
 check-allocs:
-	$(GO) test -run 'TestInferSteadyStateZeroAlloc|TestScheduledSteadyStateZeroAlloc|TestQuantInferSteadyStateZeroAlloc|TestTunedInferSteadyStateZeroAlloc' -v ./internal/model/
+	$(GO) test -run 'TestInferSteadyStateZeroAlloc|TestScheduledSteadyStateZeroAlloc|TestQuantInferSteadyStateZeroAlloc|TestTunedInferSteadyStateZeroAlloc|TestDynamicInferSteadyStateZeroAlloc' -v ./internal/model/
 
 build:
 	$(GO) build ./...
@@ -132,6 +139,15 @@ bench-kernels:
 bench-ios:
 	GOMAXPROCS=1 $(GO) run ./cmd/drainnet-bench -exp ios
 	GOMAXPROCS=4 $(GO) run ./cmd/drainnet-bench -exp ios
+
+# Dynamic inference over realistic sweep traffic (majority empty tiles):
+# static autotuned mix vs early-exit + spatial masking (+ int8 routing
+# when the quant gate passes), per scenario, merged into
+# BENCH_dynamic.json keyed by gomaxprocs. Trains a seconds-scale
+# detector first so the accuracy gate is meaningful.
+bench-dynamic:
+	GOMAXPROCS=1 $(GO) run ./cmd/drainnet-bench -exp dynamic
+	GOMAXPROCS=4 $(GO) run ./cmd/drainnet-bench -exp dynamic
 
 # Serving throughput: single-mutex path vs batched multi-replica pool.
 bench-serve:

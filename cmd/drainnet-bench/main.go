@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1,table2,table3,fig6,fig7,fig8,baseline,ablation-sched,ablation-spp,ablation-conv,inference,kernels,ios,all)")
+	exp := flag.String("exp", "all", "experiment id (table1,table2,table3,fig6,fig7,fig8,baseline,ablation-sched,ablation-spp,ablation-conv,inference,kernels,ios,dynamic,all)")
 	tiny := flag.Bool("tiny", false, "use the seconds-scale training config")
 	withTrain := flag.Bool("train", false, "include training experiments (table1, baseline) under -exp all")
 	flag.Parse()
@@ -120,6 +120,12 @@ func main() {
 			fmt.Println(res.Render())
 		case "ios":
 			res, err := experiments.IOSBench("BENCH_ios.json")
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "dynamic":
+			res, err := experiments.DynamicBench("BENCH_dynamic.json")
 			if err != nil {
 				return err
 			}

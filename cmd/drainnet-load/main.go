@@ -53,6 +53,7 @@ import (
 	"drainnet/internal/cluster"
 	"drainnet/internal/experiments"
 	"drainnet/internal/model"
+	"drainnet/internal/provenance"
 	"drainnet/internal/train"
 )
 
@@ -445,6 +446,8 @@ type BenchReport struct {
 
 	Pass       bool     `json:"pass"`
 	Violations []string `json:"violations"`
+
+	Provenance *provenance.Stamp `json:"provenance,omitempty"`
 }
 
 func runBench(routerBin, serveBin string, workers int, out string) error {
@@ -457,7 +460,11 @@ func runBench(routerBin, serveBin string, workers int, out string) error {
 	if err != nil {
 		return err
 	}
-	rep := BenchReport{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Workers: workers}
+	rep := BenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Workers:     workers,
+		Provenance:  provenance.Collect(),
+	}
 
 	// Phase 1: uncontended closed-loop baseline → p99 SLO anchor and the
 	// capacity estimate the overload phase multiplies.

@@ -38,6 +38,7 @@
 //	drainnet-serve -ios -ios-cache costs.json   # IOS-scheduled replicas
 //	drainnet-serve -precision int8 -quant-max-ap-drop 0.01   # accuracy-gated int8
 //	drainnet-serve -autotune -kernel-cache kern.json         # tuned conv kernels
+//	drainnet-serve -dynamic -precision auto                  # dynamic inference
 //
 // -precision int8 quantizes the detector (per-channel int8 weights,
 // affine int8 activations) and refuses to start unless the held-out AP
@@ -51,6 +52,16 @@
 // fastest mix whose held-out AP drop stays within -quant-max-ap-drop.
 // /v1/model reports the per-layer choices and the drainnet_kernel_choice
 // gauge exports them.
+//
+// -dynamic serves the accuracy-gated dynamic inference path: a
+// calibrated early-exit head answers confident-negative clips before the
+// SPP+FC tail, spatially-masked conv kernels skip low-energy output-row
+// bands, and (when the int8 gate passed via -precision int8/auto) a
+// difficulty router sends easy clips to an int8 replica path. A gate
+// ladder demotes masking first, then the exit, until the held-out AP
+// drop fits within -quant-max-ap-drop. The main path serves fp32;
+// /v1/model reports the plan and /v1/stats the live exit/mask/route
+// rates. Does not compose with -ios.
 package main
 
 import (
@@ -96,6 +107,7 @@ func main() {
 	quantMaxDrop := flag.Float64("quant-max-ap-drop", 0.01, "accuracy gate epsilon: largest tolerated AP drop (fp32 AP − int8 AP) on the held-out split before int8 is refused")
 	autotune := flag.Bool("autotune", false, "measure every conv kernel variant (im2col, winograd, nchwc, direct, int8 when gated on) per layer and batch bucket on this machine and serve the fastest accuracy-gated mix; shares -quant-max-ap-drop as the gate epsilon")
 	kernelCache := flag.String("kernel-cache", "", "kernel measurement cache file for -autotune (loaded if present, saved after tuning); may be the same file as -ios-cache — the keys are shared")
+	dynamicOn := flag.Bool("dynamic", false, "serve the accuracy-gated dynamic inference path (early-exit negatives, spatial masking, and — with a passed int8 gate — per-request precision routing); shares -quant-max-ap-drop as the gate epsilon")
 	sweepDir := flag.String("sweep-dir", "", "checkpoint directory for /v1/sweep jobs (empty = jobs die with the process); unfinished jobs in it resume at startup")
 	sweepConc := flag.Int("sweep-concurrency", 0, "max in-flight pool submissions per sweep job (0 = default 16)")
 	workerID := flag.Int("worker-id", -1, "cluster worker slot id; labels every metric with worker=<id> (-1 = standalone)")
@@ -146,6 +158,7 @@ func main() {
 	served := model.PrecisionFP32
 	fp32Net := net
 	var qnet *nn.Sequential
+	var qdec *model.QuantDecision
 	if precision != model.PrecisionFP32 {
 		if calibDS == nil {
 			if _, calibDS, err = experiments.BuildData(dc); err != nil {
@@ -156,6 +169,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		qdec = dec
 		fmt.Printf("level=info msg=quant_gate requested=%s quantized_layers=%d fallback_layers=%d fp32_ap=%.4f int8_ap=%.4f ap_drop=%.4f epsilon=%.4f enabled=%t\n",
 			precision, dec.Report.Quantized, dec.Report.Fallback,
 			dec.FP32AP, dec.Int8AP, dec.Drop, dec.Epsilon, dec.Enabled)
@@ -210,6 +224,37 @@ func main() {
 		}
 		fmt.Printf("level=info msg=kernel_autotune mix=%q demotions=%d fp32_ap=%.4f tuned_ap=%.4f ap_drop=%.4f epsilon=%.4f measured=%d cache_entries=%d cache=%q\n",
 			kplan.Mix(), kplan.Demotions, kplan.FP32AP, kplan.TunedAP, kplan.Drop, kplan.Epsilon, kplan.Cache.Len()-before, kplan.Cache.Len(), *kernelCache)
+	}
+
+	// Dynamic inference: calibrate the early-exit head, mask thresholds,
+	// and (when int8 is gated on) the difficulty router, walking the gate
+	// ladder until the held-out AP drop fits epsilon. The main path
+	// serves fp32 — with an int8 quant swap above, the int8 net moves to
+	// the routed replica path instead of replacing the main one.
+	var dyn *serve.Dynamic
+	if *dynamicOn {
+		if *iosOn {
+			log.Fatal("-dynamic does not compose with -ios schedules")
+		}
+		if calibDS == nil {
+			if _, calibDS, err = experiments.BuildData(dc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		net = fp32Net
+		served = model.PrecisionFP32
+		dopts := model.DynamicOptions{MaxAPDrop: *quantMaxDrop, Int8: qdec}
+		dplan, err := model.PlanDynamic(net, calibDS, dopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("level=info msg=dynamic_plan exit=%t mask=%t router=%t demotions=%d fp32_ap=%.4f dynamic_ap=%.4f ap_drop=%.4f epsilon=%.4f calib_exit_rate=%.3f calib_mask_rate=%.3f\n",
+			dplan.ExitEnabled, dplan.MaskEnabled, dplan.RouterEnabled, dplan.Demotions,
+			dplan.FP32AP, dplan.DynamicAP, dplan.Drop, dplan.Epsilon, dplan.ExitRate, dplan.MaskRate)
+		dyn = &serve.Dynamic{Spec: dplan}
+		if dplan.RouterEnabled && qnet != nil {
+			dyn.Int8Net = qnet
+		}
 	}
 
 	// One-time weight packing (im2col panels, winograd transforms, NCHWc
@@ -273,6 +318,7 @@ func main() {
 		SweepDir:         *sweepDir,
 		SweepResume:      *sweepDir != "",
 		SweepConcurrency: *sweepConc,
+		Dynamic:          dyn,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -280,8 +326,8 @@ func main() {
 	popts := srv.Pool().Options()
 	// One structured line with the full resolved configuration, so a log
 	// scraper (or a human) sees every serving knob in one place.
-	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s autotune=%t pack_ms=%.1f replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t sweep_dir=%q sweep_concurrency=%d worker_id=%d\n",
-		cfg.Name, *addr, runtime.GOMAXPROCS(0), served, *autotune, packMS, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
+	fmt.Printf("level=info msg=serving model=%q addr=%s gomaxprocs=%d precision=%s autotune=%t dynamic=%t pack_ms=%.1f replicas=%d max_batch=%d max_wait=%v queue=%d timeout=%v telemetry=%t trace_sample=%d trace_dir=%q pprof=%t ios=%t sweep_dir=%q sweep_concurrency=%d worker_id=%d\n",
+		cfg.Name, *addr, runtime.GOMAXPROCS(0), served, *autotune, *dynamicOn, packMS, popts.Replicas, popts.MaxBatch, popts.MaxWait, popts.QueueSize,
 		*timeout, *telemetryOn, *traceSample, *traceDir, *pprofOn, *iosOn, *sweepDir, *sweepConc, *workerID)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

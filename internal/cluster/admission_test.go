@@ -42,14 +42,14 @@ func TestEffectiveBulkLimit(t *testing.T) {
 		interactive int
 		want        int
 	}{
-		{0, 40},    // idle: full bulk budget
-		{-5, 40},   // defensive: negative treated as idle
-		{25, 30},   // 75% headroom → 30
-		{50, 20},   // half loaded → half budget
-		{75, 10},   // 25% headroom → 10
-		{99, 0},    // 1% headroom of 40 rounds down to 0
-		{100, 0},   // saturated: bulk fully shed
-		{1000, 0},  // over-saturated stays 0
+		{0, 40},   // idle: full bulk budget
+		{-5, 40},  // defensive: negative treated as idle
+		{25, 30},  // 75% headroom → 30
+		{50, 20},  // half loaded → half budget
+		{75, 10},  // 25% headroom → 10
+		{99, 0},   // 1% headroom of 40 rounds down to 0
+		{100, 0},  // saturated: bulk fully shed
+		{1000, 0}, // over-saturated stays 0
 	}
 	for _, tc := range cases {
 		if got := pol.EffectiveBulkLimit(tc.interactive); got != tc.want {

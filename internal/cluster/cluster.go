@@ -143,9 +143,9 @@ func ExecStart(bin string, baseArgs []string) StartFunc {
 
 type execProcess struct{ cmd *exec.Cmd }
 
-func (p *execProcess) Pid() int                  { return p.cmd.Process.Pid }
+func (p *execProcess) Pid() int                   { return p.cmd.Process.Pid }
 func (p *execProcess) Signal(sig os.Signal) error { return p.cmd.Process.Signal(sig) }
-func (p *execProcess) Wait() error               { return p.cmd.Wait() }
+func (p *execProcess) Wait() error                { return p.cmd.Wait() }
 
 // freePort reserves and releases an ephemeral loopback port. The tiny
 // window between release and the worker's bind is acceptable for the

@@ -33,15 +33,15 @@ type Router struct {
 	// can drain them when the caller has no http.Server.Shutdown.
 	inflightHTTP sync.WaitGroup
 
-	tel      *telemetry.Telemetry
-	requests *telemetry.CounterVec // class, outcome
-	latency  *telemetry.HistogramVec
-	retries  *telemetry.Counter
-	retunes  *telemetry.Counter
-	shed     *telemetry.CounterVec // class
-	wInflight *telemetry.GaugeVec  // worker
-	wQueue    *telemetry.GaugeVec  // worker
-	wUp       *telemetry.GaugeVec  // worker
+	tel       *telemetry.Telemetry
+	requests  *telemetry.CounterVec // class, outcome
+	latency   *telemetry.HistogramVec
+	retries   *telemetry.Counter
+	retunes   *telemetry.Counter
+	shed      *telemetry.CounterVec // class
+	wInflight *telemetry.GaugeVec   // worker
+	wQueue    *telemetry.GaugeVec   // worker
+	wUp       *telemetry.GaugeVec   // worker
 }
 
 // New starts the router: spawns the worker fleet, begins health/metrics
@@ -180,11 +180,11 @@ func (rt *Router) runScrape() {
 
 // ClusterStatus is the GET /v1/cluster body.
 type ClusterStatus struct {
-	Workers     []WorkerStatus `json:"workers"`
-	Ready       int            `json:"ready_workers"`
-	Draining    bool           `json:"draining"`
-	Interactive int64          `json:"interactive_inflight"`
-	Bulk        int64          `json:"bulk_inflight"`
+	Workers     []WorkerStatus  `json:"workers"`
+	Ready       int             `json:"ready_workers"`
+	Draining    bool            `json:"draining"`
+	Interactive int64           `json:"interactive_inflight"`
+	Bulk        int64           `json:"bulk_inflight"`
 	Admission   AdmissionPolicy `json:"admission"`
 }
 

@@ -1,64 +1,11 @@
 package experiments
 
-import (
-	"os"
-	"os/exec"
-	"runtime"
-	"strings"
-)
+import "drainnet/internal/provenance"
 
-// Provenance stamps a benchmark artifact with the machine and source
-// revision that produced it, so BENCH_*.json numbers from different
-// hosts or commits are never compared as if they were the same run.
-type Provenance struct {
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	GoVersion string `json:"go_version"`
-	NumCPU    int    `json:"num_cpu"`
-	// CPU is the processor model string from /proc/cpuinfo (empty on
-	// platforms without it).
-	CPU string `json:"cpu,omitempty"`
-	// Git is `git describe --always --dirty` at bench time (empty
-	// outside a git checkout).
-	Git string `json:"git,omitempty"`
-}
+// Provenance aliases the shared bench-provenance stamp
+// (internal/provenance); older BENCH_*.json readers keep working since
+// the JSON shape is unchanged.
+type Provenance = provenance.Stamp
 
-// CollectProvenance gathers the stamp for the current process. Every
-// field degrades to empty rather than failing: a bench run must never
-// abort because the host lacks /proc/cpuinfo or git.
-func CollectProvenance() *Provenance {
-	return &Provenance{
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		CPU:       cpuModel(),
-		Git:       gitDescribe(),
-	}
-}
-
-// cpuModel extracts the first "model name" entry from /proc/cpuinfo.
-func cpuModel() string {
-	buf, err := os.ReadFile("/proc/cpuinfo")
-	if err != nil {
-		return ""
-	}
-	for _, line := range strings.Split(string(buf), "\n") {
-		key, val, ok := strings.Cut(line, ":")
-		if !ok {
-			continue
-		}
-		if strings.TrimSpace(key) == "model name" {
-			return strings.TrimSpace(val)
-		}
-	}
-	return ""
-}
-
-func gitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
-}
+// CollectProvenance gathers the stamp for the current process.
+func CollectProvenance() *Provenance { return provenance.Collect() }

@@ -35,9 +35,13 @@ func IoU(a, b Box) float64 {
 }
 
 // Detection is one model output for a sample: a confidence and a box.
+// Exited marks a detection produced by the dynamic inference path's
+// early-exit head (a confident negative that skipped the SPP+FC tail);
+// the score is the exit probe's sigmoid and the box is empty.
 type Detection struct {
-	Score float64
-	Box   Box
+	Score  float64
+	Box    Box
+	Exited bool
 }
 
 // GroundTruth is the supervision for a sample.

@@ -72,19 +72,24 @@ func decodeHeadInto(out *tensor.Tensor, dst []metrics.Detection) []metrics.Detec
 	stride := out.Dim(1)
 	data := out.Data()
 	for i := 0; i < n; i++ {
-		row := data[i*stride : i*stride+5]
-		score := 1 / (1 + math.Exp(-float64(row[0])))
-		dets[i] = metrics.Detection{
-			Score: score,
-			Box: metrics.Box{
-				CX: clamp01(float64(row[1])),
-				CY: clamp01(float64(row[2])),
-				W:  clamp01(float64(row[3])),
-				H:  clamp01(float64(row[4])),
-			},
-		}
+		dets[i] = decodeRow(data[i*stride : i*stride+5])
 	}
 	return dets
+}
+
+// decodeRow decodes one 5-way head row into a detection. Shared between
+// the wholesale decode and the dynamic path's scatter of tail survivors.
+func decodeRow(row []float32) metrics.Detection {
+	score := 1 / (1 + math.Exp(-float64(row[0])))
+	return metrics.Detection{
+		Score: score,
+		Box: metrics.Box{
+			CX: clamp01(float64(row[1])),
+			CY: clamp01(float64(row[2])),
+			W:  clamp01(float64(row[3])),
+			H:  clamp01(float64(row[4])),
+		},
+	}
 }
 
 func clamp01(v float64) float64 {

@@ -54,6 +54,19 @@ type Conv2D struct {
 	nchwcB1        nchwcBlockTask
 	directBatch    directBatchTask
 	directB1       directChanTask
+
+	// spatial mask spec for KernelMasked (set via SetMask): band height in
+	// output rows, the mean-abs-deviation energy threshold gating each
+	// band, shared per-(out,in)-channel kernel sums (wsum) plus 2D
+	// prefix-sum tables over kernel taps (wpre) for the flat-response
+	// fills, and the shared cumulative skip counters.
+	maskBand    int
+	maskThresh  float32
+	maskStats   *MaskStats
+	wsum        []float32
+	wpre        []float32
+	maskedBatch maskedBatchTask
+	maskedB1    maskedBandTask
 }
 
 // NewConv2D creates a convolution layer with He initialization. Kernel is
@@ -270,17 +283,22 @@ func (c *Conv2D) prepareInference() {
 // are shared; forward caches and task descriptors are fresh.
 func (c *Conv2D) cloneShared() Module {
 	return &Conv2D{
-		InC:    c.InC,
-		OutC:   c.OutC,
-		Geom:   c.Geom,
-		Algo:   c.Algo,
-		Weight: c.Weight,
-		Bias:   c.Bias,
-		packed: c.packed,
-		kernB1: c.kernB1,
-		kernBN: c.kernBN,
-		wino:   c.wino,
-		nchwc:  c.nchwc,
+		InC:        c.InC,
+		OutC:       c.OutC,
+		Geom:       c.Geom,
+		Algo:       c.Algo,
+		Weight:     c.Weight,
+		Bias:       c.Bias,
+		packed:     c.packed,
+		kernB1:     c.kernB1,
+		kernBN:     c.kernBN,
+		wino:       c.wino,
+		nchwc:      c.nchwc,
+		maskBand:   c.maskBand,
+		maskThresh: c.maskThresh,
+		maskStats:  c.maskStats,
+		wsum:       c.wsum,
+		wpre:       c.wpre,
 	}
 }
 
@@ -334,6 +352,9 @@ func (c *Conv2D) inferFused(x *tensor.Tensor, a *tensor.Arena, relu bool) *tenso
 		return out
 	case KernelDirect:
 		c.inferDirect(out, x, relu, n, ch, h, w, oh, ow)
+		return out
+	case KernelMasked:
+		c.inferMasked(out, x, a, relu, n, ch, h, w, oh, ow)
 		return out
 	}
 

@@ -44,10 +44,22 @@ type sharedCloner interface {
 // an immediately following ReLU into the producing layer's epilogue.
 // Modules that do not implement Inferencer fall back to Forward.
 func (s *Sequential) Infer(x *tensor.Tensor, a *tensor.Arena) *tensor.Tensor {
-	for i := 0; i < len(s.mods); i++ {
+	return s.InferRange(x, a, 0, len(s.mods))
+}
+
+// InferRange runs modules [lo, hi) of the chain in inference mode with
+// the same ReLU-fusion rules as Infer; fusion lookahead never crosses
+// hi, so a prefix run leaves a trailing activation for the tail run.
+// Splitting Infer into InferRange(0, k) followed by InferRange(k, len)
+// at any non-fused boundary produces the same values as one full Infer.
+// This is the seam the dynamic inference path uses: the conv stack runs
+// as a prefix, the early-exit probe reads its output, and only
+// surviving samples pay for the SPP+FC tail.
+func (s *Sequential) InferRange(x *tensor.Tensor, a *tensor.Arena, lo, hi int) *tensor.Tensor {
+	for i := lo; i < hi; i++ {
 		m := s.mods[i]
 		if f, ok := m.(fusedInferencer); ok {
-			if i+1 < len(s.mods) {
+			if i+1 < hi {
 				if _, isRelu := s.mods[i+1].(*ReLU); isRelu {
 					x = f.inferFused(x, a, true)
 					i++

@@ -33,8 +33,15 @@ const (
 	// im2col GEMM; wins where the channel depth is too small to amortize
 	// lowering (first layers).
 	KernelDirect
+	// KernelMasked is the spatially masked im2col GEMM of the dynamic
+	// inference path: per-band input activation energy gates the lowering
+	// and matmul of each output-row band, with low-energy bands filled by
+	// the layer's flat response. Content-dependent and NOT bitwise
+	// (accuracy-gated by the dynamic plan ladder); only eligible once a
+	// mask spec is configured with SetMask.
+	KernelMasked
 
-	numConvKernels = 4
+	numConvKernels = 5
 )
 
 // String returns the kernel's stable identifier, used in cost-cache
@@ -49,19 +56,21 @@ func (k ConvKernel) String() string {
 		return "nchwc"
 	case KernelDirect:
 		return "direct"
+	case KernelMasked:
+		return "masked"
 	}
 	return fmt.Sprintf("kernel(%d)", int(k))
 }
 
 // ConvKernels enumerates every kernel variant in a stable order.
 func ConvKernels() []ConvKernel {
-	return []ConvKernel{KernelIm2Col, KernelWinograd, KernelNCHWc, KernelDirect}
+	return []ConvKernel{KernelIm2Col, KernelWinograd, KernelNCHWc, KernelDirect, KernelMasked}
 }
 
 // Exact reports whether the kernel is bit-identical to the im2col GEMM
 // reference. Non-exact kernels must pass the held-out accuracy gate
 // before serving.
-func (k ConvKernel) Exact() bool { return k != KernelWinograd }
+func (k ConvKernel) Exact() bool { return k != KernelWinograd && k != KernelMasked }
 
 // KernelEligible reports whether the layer can run kernel k on its
 // geometry. Legacy ConvDirect-algo layers (the §5.3 ablation) keep their
@@ -76,6 +85,8 @@ func (c *Conv2D) KernelEligible(k ConvKernel) bool {
 		return g.KH == 3 && g.KW == 3 && g.StrideH == 1 && g.StrideW == 1
 	case KernelIm2Col, KernelNCHWc, KernelDirect:
 		return true
+	case KernelMasked:
+		return c.maskBand > 0
 	}
 	return false
 }
@@ -127,6 +138,38 @@ func (c *Conv2D) ensureKernel(k ConvKernel) {
 		}
 	case KernelDirect:
 		// Reads the natural weight layout; nothing to pack.
+	case KernelMasked:
+		// Active bands run the packed panel GEMM; masked bands fill with
+		// the flat response, which needs the per-(out,in)-channel kernel
+		// sums, plus a 2D prefix-sum table over kernel taps so the
+		// padding-clipped pixels can look up the sum of any in-bounds tap
+		// rectangle in O(1). All layouts are immutable and shared across
+		// replicas.
+		if c.packed == nil {
+			c.packed = tensor.PackMatrix(c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW))
+		}
+		if c.wpre == nil {
+			kw1 := c.Geom.KW + 1
+			blk := (c.Geom.KH + 1) * kw1
+			wd := c.Weight.Value.Data()
+			wp := make([]float32, c.OutC*c.InC*blk)
+			ws := make([]float32, c.OutC*c.InC)
+			for oc := 0; oc < c.OutC*c.InC; oc++ {
+				src := wd[oc*c.Geom.KH*c.Geom.KW:]
+				p := wp[oc*blk:]
+				for kh := 0; kh < c.Geom.KH; kh++ {
+					var row float32
+					for kw := 0; kw < c.Geom.KW; kw++ {
+						row += src[kh*c.Geom.KW+kw]
+						p[(kh+1)*kw1+kw+1] = p[kh*kw1+kw+1] + row
+					}
+				}
+			}
+			for oc := range ws {
+				ws[oc] = wp[oc*blk+c.Geom.KH*kw1+c.Geom.KW]
+			}
+			c.wpre, c.wsum = wp, ws
+		}
 	}
 }
 

@@ -76,6 +76,24 @@ type Options struct {
 	// latency histogram, so fp32 and int8 latencies are separate series
 	// in /v1/metrics.
 	Precision model.Precision
+	// Dynamic enables the accuracy-gated dynamic inference path (early-
+	// exit negatives, spatial masking, per-request precision routing).
+	// Nil serves the static path. Does not compose with Plan: the IOS
+	// executors bypass the dynamic seam.
+	Dynamic *Dynamic
+}
+
+// Dynamic configures the pool's dynamic inference path.
+type Dynamic struct {
+	// Spec is the calibrated plan from model.PlanDynamic (required).
+	// The pool applies its mask spec to the network before cloning
+	// replicas, so every replica masks into the plan's shared counters.
+	Spec *model.DynamicPlan
+	// Int8Net, with a router-enabled plan, backs the int8 replica path:
+	// easy clips route to int8 replicas, hard clips to fp32 ones. It
+	// must validate against the same config as the fp32 network. Nil
+	// (or a plan without a router) serves every clip on the fp32 path.
+	Int8Net *nn.Sequential
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +125,10 @@ type request struct {
 	id   uint64         // telemetry span ID
 	enq  time.Time
 	done chan result // buffered(1); worker always delivers
+	// path is the serving precision the difficulty router assigned
+	// (empty without dynamic routing). It joins the batching key, so a
+	// batch never mixes paths.
+	path model.Precision
 }
 
 type result struct {
@@ -147,6 +169,12 @@ type Pool struct {
 	tel   *telemetry.Telemetry
 	reps  []*replica
 
+	// dyn/router drive the dynamic inference path (nil when off). The
+	// router runs in Submit — routing must precede batching because the
+	// two paths use different replica networks.
+	dyn    *model.DynamicPlan
+	router *model.Router
+
 	// detect overrides the forward pass; tests substitute a stub to make
 	// timing-sensitive behavior deterministic. When nil (production), the
 	// zero-allocation inference fast path runs instead. detectTimed is the
@@ -169,6 +197,19 @@ type replica struct {
 	// plan): exec1 serves single-clip batches, execN everything larger.
 	exec1 *nn.ScheduleExecutor
 	execN *nn.ScheduleExecutor
+	// dyn/dynI8 are the replica's dynamic executors (nil without
+	// Options.Dynamic): dyn wraps net, dynI8 wraps the replica's int8
+	// clone for router-assigned easy clips.
+	dyn   *model.DynamicExec
+	dynI8 *model.DynamicExec
+}
+
+// dynExec picks the replica's dynamic executor for a routed path.
+func (rep *replica) dynExec(path model.Precision) *model.DynamicExec {
+	if path == model.PrecisionInt8 && rep.dynI8 != nil {
+		return rep.dynI8
+	}
+	return rep.dyn
 }
 
 // exec picks the executor for a batch of n clips (nil when unscheduled).
@@ -187,6 +228,22 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 	opts = opts.withDefaults()
 	if err := validateConfig(cfg, net); err != nil {
 		return nil, fmt.Errorf("batcher: %w", err)
+	}
+	if opts.Dynamic != nil {
+		if opts.Dynamic.Spec == nil {
+			return nil, errors.New("batcher: Options.Dynamic needs a plan (model.PlanDynamic)")
+		}
+		if opts.Plan != nil {
+			return nil, errors.New("batcher: dynamic inference does not compose with IOS schedules")
+		}
+		if opts.Dynamic.Int8Net != nil {
+			if err := validateConfig(cfg, opts.Dynamic.Int8Net); err != nil {
+				return nil, fmt.Errorf("batcher: int8 path: %w", err)
+			}
+		}
+		// Masking is configured before cloning so every replica shares the
+		// plan's mask spec and skip counters.
+		opts.Dynamic.Spec.Apply(net)
 	}
 	// Pack weights once on the source network; shared-weight clones reuse
 	// the packed panels, so replica memory is scratch-only.
@@ -209,6 +266,28 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 			rep.exec1, rep.execN = exec1, execN
 		}
 	}
+	if opts.Dynamic != nil {
+		plan := opts.Dynamic.Spec
+		i8 := opts.Dynamic.Int8Net
+		if i8 != nil {
+			nn.PrepareInference(i8)
+		}
+		for i, rep := range replicas {
+			rep.dyn = model.NewDynamicExec(rep.net, plan)
+			if i8 == nil {
+				continue
+			}
+			i8net := i8
+			if i > 0 {
+				clone, err := nn.CloneShared(i8)
+				if err != nil {
+					return nil, fmt.Errorf("batcher: int8 replica %d: %w", i, err)
+				}
+				i8net = clone.(*nn.Sequential)
+			}
+			rep.dynI8 = model.NewDynamicExec(i8net, plan)
+		}
+	}
 	p := &Pool{
 		opts:           opts,
 		queue:          make(chan *request, opts.QueueSize),
@@ -219,6 +298,12 @@ func New(cfg model.Config, net *nn.Sequential, opts Options) (*Pool, error) {
 		tel:            opts.Telemetry,
 		reps:           replicas,
 		detectTimed:    model.DetectWithHook,
+	}
+	if opts.Dynamic != nil {
+		p.dyn = opts.Dynamic.Spec
+		if p.dyn.RouterEnabled && opts.Dynamic.Int8Net != nil {
+			p.router = p.dyn.Router
+		}
 	}
 	p.curMaxBatch.Store(int64(opts.MaxBatch))
 	p.curMaxWaitNs.Store(int64(opts.MaxWait))
@@ -297,6 +382,11 @@ func validateConfig(cfg model.Config, net *nn.Sequential) error {
 // Options returns the pool's resolved configuration.
 func (p *Pool) Options() Options { return p.opts }
 
+// Dynamic returns the dynamic inference plan the pool serves with (nil
+// when the dynamic path is off). The plan's ExitStats and Stats carry
+// the live serving counters.
+func (p *Pool) Dynamic() *model.DynamicPlan { return p.dyn }
+
 // Accepting reports whether the pool still admits new submissions (false
 // once Close has begun). The /v1/healthz readiness check reads this.
 func (p *Pool) Accepting() bool { return !p.closing.isClosed() }
@@ -343,8 +433,8 @@ func (p *Pool) Retune(maxBatch int, maxWait time.Duration) (int, time.Duration) 
 }
 
 // maxBatch/maxWait are the dispatcher's reads of the effective knobs.
-func (p *Pool) maxBatch() int           { return int(p.curMaxBatch.Load()) }
-func (p *Pool) maxWait() time.Duration  { return time.Duration(p.curMaxWaitNs.Load()) }
+func (p *Pool) maxBatch() int          { return int(p.curMaxBatch.Load()) }
+func (p *Pool) maxWait() time.Duration { return time.Duration(p.curMaxWaitNs.Load()) }
 
 // Submit enqueues one 1×C×H×W clip and blocks until its detection is
 // ready, the context is done, or the pool rejects it. It is safe to call
@@ -359,6 +449,10 @@ func (p *Pool) Submit(ctx context.Context, x *tensor.Tensor) (metrics.Detection,
 		id = p.tel.NextRequestID()
 	}
 	req := &request{ctx: ctx, x: x, id: id, enq: time.Now(), done: make(chan result, 1)}
+	if p.router != nil {
+		req.path = p.router.Route(x, 0)
+		p.stats.route(req.path)
+	}
 
 	if !p.closing.enter() {
 		p.stats.reject()
@@ -444,7 +538,7 @@ func (p *Pool) dispatch() {
 				}
 				return
 			}
-			key := shapeKey(req.x)
+			key := batchKey(req)
 			pending[key] = append(pending[key], req)
 			if len(pending[key]) >= p.maxBatch() {
 				p.flushGroup(pending, key)
@@ -581,7 +675,7 @@ func (p *Pool) runBatch(id int, rep *replica, j *job) {
 	// Record stats and emit EvInferenceDone *before* delivering each
 	// result: once a waiter unblocks it may immediately read /v1/stats or
 	// emit EvResponseWritten, so both must already be ordered ahead.
-	dets, err := p.safeDetect(rep, batch, hook, stageHook)
+	dets, err := p.safeDetect(rep, batch, hook, stageHook, j.reqs[0].path)
 	if err != nil {
 		now := time.Now()
 		for _, r := range j.reqs {
@@ -595,7 +689,10 @@ func (p *Pool) runBatch(id int, rep *replica, j *job) {
 	for i, r := range j.reqs {
 		lats[i] = now.Sub(r.enq)
 	}
-	p.stats.record(id, n, lats)
+	p.stats.record(id, n, lats, j.reqs[0].path)
+	if p.dyn != nil {
+		p.stats.setDynamicRates(p.dyn.ExitStats.Rate(), p.dyn.Stats.Rate())
+	}
 	for i, r := range j.reqs {
 		p.tel.Emit(telemetry.Event{Kind: telemetry.EvInferenceDone, Req: r.id, At: now})
 		r.done <- result{det: dets[i]}
@@ -606,10 +703,14 @@ func (p *Pool) runBatch(id int, rep *replica, j *job) {
 // layer, etc.) into an error for this batch instead of killing the worker.
 // A non-nil stageHook selects the stage-timed scheduled path and a
 // non-nil hook the per-layer-timed (training-graph) path; a test stub in
-// p.detect overrides both; otherwise the replica's IOS executor runs
-// when configured, else the plain zero-alloc inference fast path. All
-// paths produce bit-identical detections for the same weights and input.
-func (p *Pool) safeDetect(rep *replica, x *tensor.Tensor, hook model.LayerHook, stageHook nn.StageHook) (dets []metrics.Detection, err error) {
+// p.detect overrides both; otherwise the replica's dynamic executor runs
+// when configured (picked by the batch's routed path), then the IOS
+// executor, else the plain zero-alloc inference fast path. Static paths
+// produce bit-identical detections for the same weights and input; the
+// dynamic path is bit-identical whenever its exit head is disabled or
+// does not fire. Trace-sampled batches fall back to the fp32 timed
+// path, so a traced request shows the full per-layer breakdown.
+func (p *Pool) safeDetect(rep *replica, x *tensor.Tensor, hook model.LayerHook, stageHook nn.StageHook, path model.Precision) (dets []metrics.Detection, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("batcher: inference failed: %v", r)
@@ -623,6 +724,9 @@ func (p *Pool) safeDetect(rep *replica, x *tensor.Tensor, hook model.LayerHook, 
 		dets = p.detectTimed(rep.net, x, hook)
 	case p.detect != nil:
 		dets = p.detect(rep.net, x)
+	case rep.dyn != nil:
+		rep.dets = rep.dynExec(path).InferDetect(x, rep.arena, rep.dets)
+		dets = rep.dets
 	case rep.exec1 != nil:
 		rep.dets = model.InferDetectScheduled(rep.exec(x.Dim(0)), x, rep.arena, rep.dets)
 		dets = rep.dets
@@ -638,4 +742,14 @@ func (p *Pool) safeDetect(rep *replica, x *tensor.Tensor, hook model.LayerHook, 
 
 func shapeKey(x *tensor.Tensor) string {
 	return fmt.Sprintf("%dx%dx%d", x.Dim(1), x.Dim(2), x.Dim(3))
+}
+
+// batchKey groups requests that may share a forward pass: same shape
+// and, under dynamic routing, the same precision path.
+func batchKey(req *request) string {
+	key := shapeKey(req.x)
+	if req.path != "" {
+		key += "|" + string(req.path)
+	}
+	return key
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"drainnet/internal/model"
 	"drainnet/internal/telemetry"
 )
 
@@ -42,6 +43,18 @@ type Stats struct {
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP95Ms float64 `json:"latency_p95_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// Dynamic-path statistics, present only when the pool serves with
+	// Options.Dynamic. ExitRate is the cumulative fraction of clips
+	// answered by the early-exit head; MaskRate the fraction of conv
+	// output-row bands the masked kernels skipped; RoutedInt8/RoutedFP32
+	// count the difficulty router's path assignments (0 without a
+	// router-enabled plan).
+	DynamicEnabled bool    `json:"dynamic_enabled,omitempty"`
+	ExitRate       float64 `json:"exit_rate,omitempty"`
+	MaskRate       float64 `json:"mask_rate,omitempty"`
+	RoutedInt8     uint64  `json:"routed_int8,omitempty"`
+	RoutedFP32     uint64  `json:"routed_fp32,omitempty"`
 }
 
 // statsAccum records pool activity straight into telemetry registry
@@ -49,20 +62,30 @@ type Stats struct {
 // Stats snapshot taken after Submit returns is exact); the hot path
 // cost is a handful of atomic adds per batch.
 type statsAccum struct {
-	served     *telemetry.Counter
-	rejected   *telemetry.Counter
-	canceled   *telemetry.Counter
-	batches    *telemetry.Counter
-	batchSize  *telemetry.Histogram
-	latency    *telemetry.Histogram
-	queueDepth *telemetry.Gauge
+	served      *telemetry.Counter
+	rejected    *telemetry.Counter
+	canceled    *telemetry.Counter
+	batches     *telemetry.Counter
+	batchSize   *telemetry.Histogram
+	latency     *telemetry.Histogram
+	queueDepth  *telemetry.Gauge
 	retunes     *telemetry.Counter
 	effMaxBatch *telemetry.Gauge
 	effMaxWait  *telemetry.Gauge
 	perReplica  []*telemetry.Counter
 
+	// Dynamic-path metrics (nil when Options.Dynamic is off). latInt8 is
+	// the int8-path child of the same precision-labeled latency
+	// histogram, so the two routed paths are separate /v1/metrics series.
+	latInt8    *telemetry.Histogram
+	routedFP32 *telemetry.Counter
+	routedInt8 *telemetry.Counter
+	exitRate   *telemetry.Gauge
+	maskRate   *telemetry.Gauge
+
 	replicas, maxBatch, queueCap int
 	precision                    string
+	dynamic                      bool
 }
 
 func newStatsAccum(opts Options) *statsAccum {
@@ -71,6 +94,9 @@ func newStatsAccum(opts Options) *statsAccum {
 	for i := range sizeBounds {
 		sizeBounds[i] = float64(i + 1)
 	}
+	latVec := reg.HistogramVec("drainnet_request_latency_seconds",
+		"Request latency, enqueue to result delivery, by serving precision.",
+		telemetry.TimeBuckets, "precision")
 	s := &statsAccum{
 		served: reg.Counter("drainnet_requests_served_total",
 			"Requests answered with a detection."),
@@ -84,9 +110,7 @@ func newStatsAccum(opts Options) *statsAccum {
 			"Clips coalesced into one forward pass (the realized §6.4 batch size).", sizeBounds),
 		// Labeled by serving precision, so an fp32 pool and an int8 pool
 		// (or an A/B rollout across restarts) produce separate series.
-		latency: reg.HistogramVec("drainnet_request_latency_seconds",
-			"Request latency, enqueue to result delivery, by serving precision.",
-			telemetry.TimeBuckets, "precision").With(string(opts.Precision)),
+		latency: latVec.With(string(opts.Precision)),
 		queueDepth: reg.Gauge("drainnet_queue_depth",
 			"Requests waiting on the bounded queue."),
 		retunes: reg.Counter("drainnet_retunes_total",
@@ -105,6 +129,18 @@ func newStatsAccum(opts Options) *statsAccum {
 	s.perReplica = make([]*telemetry.Counter, opts.Replicas)
 	for i := range s.perReplica {
 		s.perReplica[i] = vec.With(strconv.Itoa(i))
+	}
+	if opts.Dynamic != nil {
+		s.dynamic = true
+		routed := reg.CounterVec("drainnet_routed_total",
+			"Clips assigned to a serving path by the difficulty router.", "path")
+		s.routedFP32 = routed.With(string(model.PrecisionFP32))
+		s.routedInt8 = routed.With(string(model.PrecisionInt8))
+		s.latInt8 = latVec.With(string(model.PrecisionInt8))
+		s.exitRate = reg.Gauge("drainnet_exit_rate",
+			"Cumulative fraction of clips answered by the early-exit head.")
+		s.maskRate = reg.Gauge("drainnet_masked_block_rate",
+			"Cumulative fraction of conv output-row bands skipped by spatial masking.")
 	}
 	return s
 }
@@ -128,15 +164,44 @@ func (s *statsAccum) setTuning(maxBatch int, maxWait time.Duration) {
 }
 
 // record logs one completed batch of n clips on the given replica.
-func (s *statsAccum) record(replica, n int, lats []time.Duration) {
+// Under dynamic routing the batch's latencies land in its path's
+// histogram child; everything else stays aggregate.
+func (s *statsAccum) record(replica, n int, lats []time.Duration, path model.Precision) {
 	s.served.Add(uint64(n))
 	s.batches.Inc()
 	s.batchSize.Observe(float64(n))
 	if replica >= 0 && replica < len(s.perReplica) {
 		s.perReplica[replica].Add(uint64(n))
 	}
+	lat := s.latency
+	if path == model.PrecisionInt8 && s.latInt8 != nil {
+		lat = s.latInt8
+	}
 	for _, d := range lats {
-		s.latency.Observe(d.Seconds())
+		lat.Observe(d.Seconds())
+	}
+}
+
+// route counts one difficulty-router path assignment.
+func (s *statsAccum) route(path model.Precision) {
+	switch path {
+	case model.PrecisionInt8:
+		if s.routedInt8 != nil {
+			s.routedInt8.Inc()
+		}
+	default:
+		if s.routedFP32 != nil {
+			s.routedFP32.Inc()
+		}
+	}
+}
+
+// setDynamicRates publishes the plan's cumulative exit and mask rates
+// as gauges after each batch, so a scrape reads current values.
+func (s *statsAccum) setDynamicRates(exit, mask float64) {
+	if s.exitRate != nil {
+		s.exitRate.Set(exit)
+		s.maskRate.Set(mask)
 	}
 }
 
@@ -174,6 +239,13 @@ func (s *statsAccum) snapshot(queueDepth int) Stats {
 		st.LatencyP50Ms = lat.Quantile(0.50) * 1000
 		st.LatencyP95Ms = lat.Quantile(0.95) * 1000
 		st.LatencyP99Ms = lat.Quantile(0.99) * 1000
+	}
+	if s.dynamic {
+		st.DynamicEnabled = true
+		st.ExitRate = s.exitRate.Value()
+		st.MaskRate = s.maskRate.Value()
+		st.RoutedFP32 = s.routedFP32.Value()
+		st.RoutedInt8 = s.routedInt8.Value()
 	}
 	return st
 }

@@ -150,7 +150,42 @@ type ModelInfo struct {
 	// KernelDemotions counts accuracy-gate demotion steps the kernel
 	// autotuner took (0 = first measured mix served).
 	KernelDemotions int `json:"kernel_demotions,omitempty"`
+	// Dynamic, when the server runs the dynamic inference path
+	// (Options.Dynamic), reports the accuracy-gated plan it serves with.
+	Dynamic *DynamicInfo `json:"dynamic,omitempty"`
 }
+
+// DynamicInfo is the /v1/model view of a dynamic inference plan: which
+// mechanisms survived the accuracy gate, the calibrated knobs, and the
+// measured AP cost.
+type DynamicInfo struct {
+	// ExitEnabled/MaskEnabled/RouterEnabled report which of the three
+	// mechanisms the gate ladder kept.
+	ExitEnabled   bool `json:"exit_enabled"`
+	MaskEnabled   bool `json:"mask_enabled"`
+	RouterEnabled bool `json:"router_enabled"`
+	// ExitThreshold is the calibrated early-exit logit cut; MaskThreshold
+	// the masked kernels' band-energy cut (0 when the mechanism is off).
+	ExitThreshold float64 `json:"exit_threshold,omitempty"`
+	MaskThreshold float64 `json:"mask_threshold,omitempty"`
+	// Demotions counts gate-ladder steps taken (0 = most aggressive plan
+	// served, 1 = masking dropped, 2 = exit dropped too).
+	Demotions int `json:"demotions"`
+	// FP32AP/DynamicAP/APDrop/Epsilon are the calibration-set accuracy
+	// accounting behind the gate decision.
+	FP32AP    float64 `json:"fp32_ap"`
+	DynamicAP float64 `json:"dynamic_ap"`
+	APDrop    float64 `json:"ap_drop"`
+	Epsilon   float64 `json:"epsilon"`
+	// CalibExitRate/CalibMaskRate are the rates measured on the
+	// calibration split (serving rates live in /v1/stats).
+	CalibExitRate float64 `json:"calib_exit_rate"`
+	CalibMaskRate float64 `json:"calib_mask_rate"`
+}
+
+// Dynamic aliases the batcher's dynamic-path configuration so callers
+// configure the server without importing the batcher directly.
+type Dynamic = batcher.Dynamic
 
 // Options configures the serving pool behind the HTTP API. The zero
 // value selects the batcher defaults and a 30 s request timeout.
@@ -193,6 +228,10 @@ type Options struct {
 	// SweepConcurrency bounds a sweep job's in-flight pool submissions
 	// (see sweep.ManagerOptions.Concurrency).
 	SweepConcurrency int
+	// Dynamic enables the accuracy-gated dynamic inference path (early
+	// exit, spatial masking, per-request precision routing) on every
+	// replica; see batcher.Options.Dynamic. Nil serves statically.
+	Dynamic *batcher.Dynamic
 }
 
 func (o Options) withDefaults() Options {
@@ -249,13 +288,14 @@ func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opt
 		Telemetry: tel,
 		Plan:      opts.Plan,
 		Precision: opts.Precision,
+		Dynamic:   opts.Dynamic,
 	})
 	if err != nil {
 		tel.Close()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{cfg: cfg, threshold: threshold, opts: opts, pool: pool, params: params, tel: tel}
-	s.sweeps, err = sweep.NewManager(sweep.ManagerOptions{
+	sweepOpts := sweep.ManagerOptions{
 		Submit:        pool,
 		Bands:         cfg.InBands,
 		DefaultWindow: cfg.InSize,
@@ -263,7 +303,11 @@ func NewWithOptions(cfg model.Config, net *nn.Sequential, threshold float64, opt
 		Dir:           opts.SweepDir,
 		Telemetry:     tel,
 		Concurrency:   opts.SweepConcurrency,
-	})
+	}
+	if plan := pool.Dynamic(); plan != nil {
+		sweepOpts.MaskRate = plan.Stats.Rate
+	}
+	s.sweeps, err = sweep.NewManager(sweepOpts)
 	if err != nil {
 		pool.Close()
 		tel.Close()
@@ -464,6 +508,27 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Kernels != nil {
 		info.Kernels = s.opts.Kernels.Layers
 		info.KernelDemotions = s.opts.Kernels.Demotions
+	}
+	if plan := s.pool.Dynamic(); plan != nil {
+		d := &DynamicInfo{
+			ExitEnabled:   plan.ExitEnabled,
+			MaskEnabled:   plan.MaskEnabled,
+			RouterEnabled: plan.RouterEnabled,
+			Demotions:     plan.Demotions,
+			FP32AP:        plan.FP32AP,
+			DynamicAP:     plan.DynamicAP,
+			APDrop:        plan.Drop,
+			Epsilon:       plan.Epsilon,
+			CalibExitRate: plan.ExitRate,
+			CalibMaskRate: plan.MaskRate,
+		}
+		if plan.ExitEnabled && plan.Exit != nil {
+			d.ExitThreshold = float64(plan.Exit.Threshold)
+		}
+		if plan.MaskEnabled {
+			d.MaskThreshold = float64(plan.MaskThreshold)
+		}
+		info.Dynamic = d
 	}
 	writeJSON(w, http.StatusOK, info)
 }

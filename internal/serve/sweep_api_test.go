@@ -156,10 +156,10 @@ func TestSweepRejectsBadSpecs(t *testing.T) {
 	ts := httptest.NewServer(testServer(t).Handler())
 	defer ts.Close()
 	for i, body := range []string{
-		`{`, // bad JSON
-		`{"rows":8,"cols":8}`,                       // raster too small
-		`{"rows":96,"cols":96,"window":4}`,          // window too small
-		`{"rows":96,"cols":96,"min_score":2}`,       // score out of range
+		`{`,                                   // bad JSON
+		`{"rows":8,"cols":8}`,                 // raster too small
+		`{"rows":96,"cols":96,"window":4}`,    // window too small
+		`{"rows":96,"cols":96,"min_score":2}`, // score out of range
 		`{"rows":96,"cols":96,"scenarios":["nah"]}`, // unknown scenario
 		`{"rows":96,"cols":96,"precision":"int8"}`,  // pool serves fp32
 	} {

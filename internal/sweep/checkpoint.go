@@ -29,6 +29,11 @@ type checkpoint struct {
 	// Counters; resumes must not re-count a scenario's window totals.
 	CountedScenario int      `json:"counted_scenario"`
 	Counters        Counters `json:"counters"`
+	// ScenarioExited/ScenarioInferred carry the running scenario's exit
+	// accounting across a mid-scenario drain, so resumed jobs report an
+	// exact per-scenario exit rate. Absent (0) in pre-dynamic checkpoints.
+	ScenarioExited   int `json:"scenario_exited,omitempty"`
+	ScenarioInferred int `json:"scenario_inferred,omitempty"`
 	// Raw holds the current scenario's pre-merge hits (cleared once the
 	// scenario merges); Hits and Summaries accumulate finished scenarios.
 	Raw       []Hit             `json:"raw_hits,omitempty"`

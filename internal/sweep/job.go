@@ -53,6 +53,11 @@ type ManagerOptions struct {
 	// enough to keep batches full, low enough to leave queue headroom for
 	// interactive /v1/detect traffic.
 	Concurrency int
+	// MaskRate, when the pool serves the dynamic path, reports the
+	// cumulative masked-band rate (plan.Stats.Rate); job status echoes it
+	// so a sweep's observer sees both dynamic savings in one place. Nil
+	// reports 0.
+	MaskRate func() float64
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -82,6 +87,7 @@ type Manager struct {
 	inferred *telemetry.Counter
 	jobsBy   *telemetry.CounterVec
 	active   *telemetry.Gauge
+	exitRate *telemetry.GaugeVec
 }
 
 // NewManager creates a manager. Call Resume to pick up checkpointed jobs
@@ -109,6 +115,9 @@ func NewManager(opts ManagerOptions) (*Manager, error) {
 			"Sweep jobs, by lifecycle event (started, resumed, done, canceled, failed).", "event"),
 		active: reg.Gauge("drainnet_sweep_active_jobs",
 			"Sweep jobs currently running."),
+		exitRate: reg.GaugeVec("drainnet_sweep_exit_rate",
+			"Fraction of a scenario's inferred clips answered by the early-exit head.",
+			"scenario"),
 	}
 	return m, nil
 }
@@ -247,12 +256,17 @@ type Job struct {
 	// counted is the highest scenario index whose window totals are
 	// already in counters (-1 before the first), persisted so resumes
 	// never double-count.
-	counted int
-	counters    Counters
-	raw         []Hit
-	hits        []Hit
-	summaries   []ScenarioSummary
-	errMsg      string
+	counted  int
+	counters Counters
+	// scExited/scInferred are the running scenario's exit accounting,
+	// reset at each scenario boundary and persisted so a mid-scenario
+	// resume keeps the per-scenario exit rate exact.
+	scExited   int
+	scInferred int
+	raw        []Hit
+	hits       []Hit
+	summaries  []ScenarioSummary
+	errMsg     string
 
 	// procStart/procInferred measure throughput since this process picked
 	// the job up (resumes restart the clock, not the counters).
@@ -266,6 +280,10 @@ type Counters struct {
 	Candidates int `json:"candidates"`
 	Skipped    int `json:"skipped"`
 	Inferred   int `json:"inferred"`
+	// Exited counts inferred clips whose detection came from the
+	// serving pool's early-exit head (always 0 when dynamic inference
+	// is off).
+	Exited int `json:"exited"`
 }
 
 func newJob(m *Manager, id string, spec Spec) *Job {
@@ -285,6 +303,8 @@ func jobFromCheckpoint(m *Manager, ck *checkpoint) *Job {
 	j.counted = ck.CountedScenario
 	j.cursor = ck.Cursor
 	j.counters = ck.Counters
+	j.scExited = ck.ScenarioExited
+	j.scInferred = ck.ScenarioInferred
 	j.raw = ck.Raw
 	j.hits = ck.Hits
 	j.summaries = ck.Summaries
@@ -323,6 +343,7 @@ func (j *Job) Status() Status {
 		Candidates:     j.counters.Candidates,
 		Skipped:        j.counters.Skipped,
 		Inferred:       j.counters.Inferred,
+		Exited:         j.counters.Exited,
 		Hits:           len(j.hits),
 		Checkpointed:   j.m.opts.Dir != "",
 		Error:          j.errMsg,
@@ -330,6 +351,12 @@ func (j *Job) Status() Status {
 	}
 	if st.Windows > 0 {
 		st.SkipRate = float64(st.Skipped) / float64(st.Windows)
+	}
+	if st.Inferred > 0 {
+		st.ExitRate = float64(st.Exited) / float64(st.Inferred)
+	}
+	if f := j.m.opts.MaskRate; f != nil {
+		st.MaskRate = f()
 	}
 	if n := j.procInferred.Load(); n > 0 {
 		if dt := time.Since(j.procStart).Seconds(); dt > 0 {
@@ -436,7 +463,7 @@ func (j *Job) sweep() error {
 
 		for lo := cursor; lo < len(cands); lo += j.spec.CheckpointEvery {
 			hi := minInt(lo+j.spec.CheckpointEvery, len(cands))
-			hits, err := j.inferChunk(img, w.Cfg.Rows, w.Cfg.Cols, cands[lo:hi])
+			hits, exited, err := j.inferChunk(img, w.Cfg.Rows, w.Cfg.Cols, cands[lo:hi])
 			if err != nil {
 				return err
 			}
@@ -444,6 +471,9 @@ func (j *Job) sweep() error {
 			j.raw = append(j.raw, hits...)
 			j.cursor = hi
 			j.counters.Inferred += hi - lo
+			j.counters.Exited += exited
+			j.scExited += exited
+			j.scInferred += hi - lo
 			j.saveLocked()
 			j.mu.Unlock()
 			j.m.inferred.Add(uint64(hi - lo))
@@ -454,10 +484,16 @@ func (j *Job) sweep() error {
 		j.mu.Lock()
 		merged := mergeHits(sc.Name, j.raw, j.spec.MergeRadius)
 		sum := scoreScenario(sc.Name, merged, w.Crossings, total, len(cands), j.spec.MatchRadius)
+		sum.Exited = j.scExited
+		if j.scInferred > 0 {
+			sum.ExitRate = float64(j.scExited) / float64(j.scInferred)
+		}
+		j.m.exitRate.With(sc.Name).Set(sum.ExitRate)
 		j.hits = append(j.hits, merged...)
 		j.summaries = append(j.summaries, sum)
 		j.raw = nil
 		j.cursor = 0
+		j.scExited, j.scInferred = 0, 0
 		j.scenarioIdx = si + 1
 		j.saveLocked()
 		j.mu.Unlock()
@@ -470,7 +506,7 @@ func (j *Job) sweep() error {
 // (deterministic regardless of completion order). Queue-full rejections
 // back off and retry — the sweep is the background producer and must
 // yield to interactive traffic.
-func (j *Job) inferChunk(img *tensor.Tensor, rows, cols int, wins []window) ([]Hit, error) {
+func (j *Job) inferChunk(img *tensor.Tensor, rows, cols int, wins []window) (hits []Hit, exited int, err error) {
 	type slot struct {
 		det metrics.Detection
 		err error
@@ -500,12 +536,14 @@ func (j *Job) inferChunk(img *tensor.Tensor, rows, cols int, wins []window) ([]H
 	}
 	wg.Wait()
 	if err := context.Cause(j.ctx); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	var hits []Hit
 	for i, s := range out {
 		if s.err != nil {
-			return nil, s.err
+			return nil, 0, s.err
+		}
+		if s.det.Exited {
+			exited++
 		}
 		if s.det.Score < j.spec.MinScore {
 			continue
@@ -514,7 +552,7 @@ func (j *Job) inferChunk(img *tensor.Tensor, rows, cols int, wins []window) ([]H
 		c := wins[i].c0 + int(s.det.Box.CX*float64(j.spec.Window))
 		hits = append(hits, Hit{Row: minInt(r, rows-1), Col: minInt(c, cols-1), Score: s.det.Score})
 	}
-	return hits, nil
+	return hits, exited, nil
 }
 
 // cancelChunk aborts the remaining submissions of a failed chunk without
@@ -574,18 +612,20 @@ func (j *Job) saveLocked() {
 		return
 	}
 	ck := &checkpoint{
-		Version:       checkpointVersion,
-		ID:            j.id,
-		Spec:          j.spec,
-		State:         j.state,
-		Error:         j.errMsg,
-		ScenarioIndex:   j.scenarioIdx,
-		CountedScenario: j.counted,
-		Cursor:        j.cursor,
-		Counters:      j.counters,
-		Raw:           j.raw,
-		Hits:          j.hits,
-		Summaries:     j.summaries,
+		Version:          checkpointVersion,
+		ID:               j.id,
+		Spec:             j.spec,
+		State:            j.state,
+		Error:            j.errMsg,
+		ScenarioIndex:    j.scenarioIdx,
+		CountedScenario:  j.counted,
+		Cursor:           j.cursor,
+		Counters:         j.counters,
+		ScenarioExited:   j.scExited,
+		ScenarioInferred: j.scInferred,
+		Raw:              j.raw,
+		Hits:             j.hits,
+		Summaries:        j.summaries,
 	}
 	if err := ck.save(j.m.opts.Dir); err != nil && j.errMsg == "" {
 		j.errMsg = fmt.Sprintf("checkpoint not saved: %v", err)

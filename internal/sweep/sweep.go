@@ -199,6 +199,12 @@ type ScenarioSummary struct {
 	AP         float64 `json:"ap"`
 	Recall     float64 `json:"recall"`
 	Precision  float64 `json:"precision"`
+	// Exited counts the scenario's inferred clips answered by the serving
+	// pool's early-exit head; ExitRate is Exited/inferred for the
+	// scenario. Both stay 0 when the pool serves without dynamic
+	// inference.
+	Exited   int     `json:"exited,omitempty"`
+	ExitRate float64 `json:"exit_rate,omitempty"`
 }
 
 // Job states reported by Status.State.
@@ -230,6 +236,12 @@ type Status struct {
 	// Hits is the number of merged crossings available from the results
 	// endpoint so far.
 	Hits int `json:"hits"`
+	// Exited counts inferred clips the pool's early-exit head answered;
+	// ExitRate is Exited/Inferred. MaskRate echoes the pool's cumulative
+	// masked-band rate. All stay 0 without dynamic inference.
+	Exited   int     `json:"exited,omitempty"`
+	ExitRate float64 `json:"exit_rate,omitempty"`
+	MaskRate float64 `json:"mask_rate,omitempty"`
 	// SkipRate is Skipped/Windows — the fraction of the raster the prior
 	// kept away from the model.
 	SkipRate float64 `json:"skip_rate"`

@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Im2ColSliceRows over the full output-row range must write exactly what
+// Im2ColSlice writes, and band-by-band lowering must reassemble it.
+func TestMaskedIm2ColSliceRowsMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	geoms := []ConvGeom{
+		{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2},
+		{KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+	}
+	for _, g := range geoms {
+		c, h, w := 3, 13, 11
+		img := randSlice(rng, c*h*w)
+		oh, ow := g.OutSize(h, w)
+		kdim := c * g.KH * g.KW
+		want := make([]float32, kdim*oh*ow)
+		Im2ColSlice(want, img, c, h, w, g)
+
+		full := make([]float32, kdim*oh*ow)
+		Im2ColSliceRows(full, img, c, h, w, g, 0, oh)
+		for i := range want {
+			if full[i] != want[i] {
+				t.Fatalf("geom %+v: full-range Im2ColSliceRows differs at %d", g, i)
+			}
+		}
+
+		banded := make([]float32, kdim*oh*ow)
+		for oy := 0; oy < oh; oy += 2 {
+			Im2ColSliceRows(banded, img, c, h, w, g, oy, oy+2)
+		}
+		for i := range want {
+			if banded[i] != want[i] {
+				t.Fatalf("geom %+v: banded Im2ColSliceRows differs at %d", g, i)
+			}
+		}
+	}
+}
+
+// MulPanelsColsInto over a column band must be bit-identical to the same
+// columns of MulPanelsInto, and must leave other columns untouched.
+func TestMaskedMulPanelsColsIntoMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, relu := range []bool{false, true} {
+		m, k, n := 10, 27, 35
+		a := New(m, k)
+		copy(a.Data(), randSlice(rng, m*k))
+		p := PackMatrix(a)
+		b := randSlice(rng, k*n)
+		bias := randSlice(rng, m)
+
+		want := make([]float32, m*n)
+		p.MulPanelsInto(want, b, n, bias, relu, 0, p.Panels())
+
+		const sentinel = float32(-999)
+		got := make([]float32, m*n)
+		for i := range got {
+			got[i] = sentinel
+		}
+		c0, c1 := 7, 29
+		p.MulPanelsColsInto(got, b, n, bias, relu, 0, p.Panels(), c0, c1)
+		for r := 0; r < m; r++ {
+			for j := 0; j < n; j++ {
+				v := got[r*n+j]
+				if j >= c0 && j < c1 {
+					if v != want[r*n+j] {
+						t.Fatalf("relu=%v: column %d row %d differs", relu, j, r)
+					}
+				} else if v != sentinel {
+					t.Fatalf("relu=%v: column %d row %d outside band was written", relu, j, r)
+				}
+			}
+		}
+
+		// Band-by-band union reassembles the full product.
+		assembled := make([]float32, m*n)
+		for c0 := 0; c0 < n; c0 += 6 {
+			p.MulPanelsColsInto(assembled, b, n, bias, relu, 0, p.Panels(), c0, c0+6)
+		}
+		for i := range want {
+			if assembled[i] != want[i] {
+				t.Fatalf("relu=%v: banded union differs at %d", relu, i)
+			}
+		}
+	}
+}
+
+func TestMaskedBiasFillCols(t *testing.T) {
+	rows, n := 5, 12
+	bias := []float32{-1, 0.5, 2, -0.25, 0}
+	dst := make([]float32, rows*n)
+	for i := range dst {
+		dst[i] = 7
+	}
+	BiasFillCols(dst, rows, n, bias, true, 4, 9)
+	for r := 0; r < rows; r++ {
+		want := bias[r]
+		if want < 0 {
+			want = 0
+		}
+		for j := 0; j < n; j++ {
+			v := dst[r*n+j]
+			if j >= 4 && j < 9 {
+				if v != want {
+					t.Fatalf("row %d col %d = %v, want %v", r, j, v, want)
+				}
+			} else if v != 7 {
+				t.Fatalf("row %d col %d outside band was written", r, j)
+			}
+		}
+	}
+	// nil bias fills zeros.
+	BiasFillCols(dst, rows, n, nil, false, 0, n)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("nil-bias fill left %v at %d", v, i)
+		}
+	}
+}
