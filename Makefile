@@ -4,10 +4,10 @@ GO ?= go
 
 .PHONY: all check build vet test test-race test-race-serve test-race-telemetry \
         test-race-fastpath test-race-ios test-race-sweep test-race-cluster \
-        test-race-kernels test-race-dynamic smoke-sweep smoke-cluster \
+        test-race-kernels test-race-dynamic test-race-nas smoke-sweep smoke-cluster \
         bench-cluster check-allocs \
         bench bench-serve bench-telemetry bench-inference bench-kernels \
-        bench-ios bench-dynamic test-short \
+        bench-ios bench-dynamic bench-nas test-short \
         bench-fast experiments experiments-train examples renders clean
 
 all: build vet test
@@ -18,7 +18,7 @@ all: build vet test
 # the sweep job runner + the cluster router/supervisor), the sweep
 # kill-and-resume smoke, the cluster kill-under-load smoke, and the
 # zero-allocation regression guards on both serving forwards.
-check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep test-race-cluster test-race-kernels test-race-dynamic smoke-sweep smoke-cluster check-allocs
+check: build vet test test-race-serve test-race-telemetry test-race-fastpath test-race-ios test-race-sweep test-race-cluster test-race-kernels test-race-dynamic test-race-nas smoke-sweep smoke-cluster check-allocs
 
 test-race-serve:
 	$(GO) test -race ./internal/serve/...
@@ -79,6 +79,13 @@ test-race-ios:
 # phases fan out over the shared worker pool.
 test-race-kernels:
 	GOMAXPROCS=4 $(GO) test -race -run 'Winograd|NCHWc|DirectConv|Kernel|TestTuned' ./internal/tensor/ ./internal/nn/ ./internal/model/
+
+# Hardware-in-the-loop NAS under the race detector: the parallel search
+# executor's worker fan-out, the shared measured evaluator (trained-net
+# memo + bench lock), and the concurrent cost cache (in-process mutex +
+# two-writer merge-on-save).
+test-race-nas:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestSearch|TestMeasuredEvaluator|TestCostCache|TestEvolution|TestMutate|TestJointSpace' ./internal/nas/ ./internal/ios/
 
 # Dynamic inference path under the race detector: the masked kernels'
 # shared stats, the early-exit executor, the difficulty router inside
@@ -148,6 +155,15 @@ bench-ios:
 bench-dynamic:
 	GOMAXPROCS=1 $(GO) run ./cmd/drainnet-bench -exp dynamic
 	GOMAXPROCS=4 $(GO) run ./cmd/drainnet-bench -exp dynamic
+
+# Hardware-in-the-loop NAS -> BENCH_nas.json: measured search over
+# architecture x precision x kernel mode (real training + real executor
+# latencies), run cold-sequential, warm-sequential and warm-parallel over
+# one shared cost cache (winner must be bit-identical across all three),
+# plus the synthetic executor-overlap scaling proof and the
+# sim-vs-measured winner comparison at the serving batch.
+bench-nas:
+	$(GO) run ./cmd/drainnet-bench -exp nas
 
 # Serving throughput: single-mutex path vs batched multi-replica pool.
 bench-serve:

@@ -256,6 +256,63 @@ func ResourceAwareSelect(trials []Trial, threshold float64, batch int) (*nas.Sel
 	return nas.ResourceAware(trials, nas.IOSMeasurer{Dev: RTXA5500()}, threshold, batch)
 }
 
+// ---- Hardware-in-the-loop NAS ----
+
+// SearchCandidate is one point of the joint search space: architecture ×
+// serving precision × kernel mode.
+type SearchCandidate = nas.CandidateConfig
+
+// DefaultJointSearchSpace returns the §4.2 architecture space extended
+// with the serving dimensions: precision {fp32, int8} and kernel mode
+// {im2col, tuned}.
+func DefaultJointSearchSpace() SearchSpace { return nas.DefaultJointSpace() }
+
+// MeasuredEvaluator scores joint candidates with real trained accuracy
+// and the measured steady-state latency of each candidate's compiled
+// executor on this machine (after accuracy-gated quantization, kernel
+// autotuning and IOS scheduling). Safe for concurrent use by
+// MeasuredSearch workers.
+type MeasuredEvaluator = nas.MeasuredEvaluator
+
+// CandidateTrainer produces a trained network and its held-out accuracy
+// for one scaled architecture.
+type CandidateTrainer = nas.Trainer
+
+// SearchOptions configures a measured search (strategy, trial budget,
+// seed, parallel workers).
+type SearchOptions = nas.SearchOptions
+
+// TrialResult is one scored joint candidate.
+type TrialResult = nas.TrialResult
+
+// CandidateEvaluatorFunc adapts a plain function to a measured-search
+// candidate evaluator.
+type CandidateEvaluatorFunc = nas.CandidateEvaluatorFunc
+
+// MeasuredSearchResult is a measured search's full history with
+// deterministic ranking (Ranked, Winner, Render).
+type MeasuredSearchResult = nas.SearchResult
+
+// MeasuredSearch runs the hardware-in-the-loop NAS: candidates evaluate
+// across opts.Parallel workers sharing one evaluator (and cost cache);
+// revisited candidates are never evaluated twice, and a warm cache
+// reproduces the ranking bit-for-bit.
+func MeasuredSearch(space SearchSpace, eval nas.CandidateEvaluator, opts SearchOptions) (*MeasuredSearchResult, error) {
+	return nas.Search(space, eval, opts)
+}
+
+// NASWinnerPlan is the persisted outcome of a measured search, loadable
+// by drainnet-serve -nas-plan.
+type NASWinnerPlan = nas.WinnerPlan
+
+// SaveNASWinner persists a search winner (plan.json + winner.ckpt) into dir.
+func SaveNASWinner(dir string, t TrialResult, arch ModelConfig, net *Network, threshold float64, maxBatch int) (*NASWinnerPlan, error) {
+	return nas.SaveWinner(dir, t, arch, net, threshold, maxBatch)
+}
+
+// LoadNASWinnerPlan reads a plan written by SaveNASWinner.
+func LoadNASWinnerPlan(path string) (*NASWinnerPlan, error) { return nas.LoadWinnerPlan(path) }
+
 // ---- Inference graphs, IOS, GPU simulation (paper §5, §6.3–6.4) ----
 
 // Graph is the operator-DAG inference IR.

@@ -127,6 +127,46 @@ func TestPublicAPINASSelection(t *testing.T) {
 	}
 }
 
+func TestPublicAPIMeasuredNAS(t *testing.T) {
+	space := DefaultJointSearchSpace()
+	if space.JointSize() != space.Size()*4 {
+		t.Fatalf("joint size %d, want %d", space.JointSize(), space.Size()*4)
+	}
+	// A stub candidate evaluator exercises MeasuredSearch through the
+	// public surface; the real MeasuredEvaluator is covered in-package.
+	eval := func(c SearchCandidate) TrialResult {
+		r := TrialResult{Candidate: c, Key: c.Key(), Accuracy: 0.95, Qualified: true}
+		r.LatencyBNNs = float64(c.Arch.FCWidth)
+		return r
+	}
+	res, err := MeasuredSearch(space, CandidateEvaluatorFunc(eval), SearchOptions{Strategy: "random", Trials: 8, Seed: 4, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Winner()
+	if w == nil || len(res.Ranked()) == 0 {
+		t.Fatal("measured search produced no winner")
+	}
+
+	// Winner persistence round-trips through the public API.
+	arch := w.Candidate.Arch.Scaled(16).WithInput(4, 40)
+	net, err := BuildModel(arch, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := SaveNASWinner(dir, *w, arch, net, 0.9, 16); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := LoadNASWinnerPlan(dir + "/plan.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Arch.Name != arch.Name || plan.Candidate.Key() != w.Key {
+		t.Fatalf("plan round-trip mangled: %+v", plan)
+	}
+}
+
 func TestPublicAPIExtensions(t *testing.T) {
 	// Augmentation + dataset persistence.
 	wc := DefaultWatershedConfig()

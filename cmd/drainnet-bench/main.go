@@ -20,9 +20,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1,table2,table3,fig6,fig7,fig8,baseline,ablation-sched,ablation-spp,ablation-conv,inference,kernels,ios,dynamic,all)")
+	exp := flag.String("exp", "all", "experiment id (table1,table2,table3,fig6,fig7,fig8,baseline,ablation-sched,ablation-spp,ablation-conv,inference,kernels,ios,dynamic,nas,all)")
 	tiny := flag.Bool("tiny", false, "use the seconds-scale training config")
 	withTrain := flag.Bool("train", false, "include training experiments (table1, baseline) under -exp all")
+	nasTrials := flag.Int("nas-trials", 10, "measured-NAS trials for -exp nas")
+	nasParallel := flag.Int("nas-parallel", 4, "measured-NAS parallel workers for -exp nas")
+	nasThreshold := flag.Float64("nas-threshold", 0.30, "measured-NAS accuracy constraint A for -exp nas")
+	nasCache := flag.String("nas-cache", "nas-costs.json", "measured-NAS cost-cache file for -exp nas")
 	flag.Parse()
 
 	dc := experiments.FastData()
@@ -126,6 +130,15 @@ func main() {
 			fmt.Println(res.Render())
 		case "dynamic":
 			res, err := experiments.DynamicBench("BENCH_dynamic.json")
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "nas":
+			res, err := experiments.NASHardwareBench("BENCH_nas.json", experiments.NASBenchConfig{
+				Trials: *nasTrials, Parallel: *nasParallel, Threshold: *nasThreshold,
+				Seed: 42, CachePath: *nasCache,
+			})
 			if err != nil {
 				return err
 			}

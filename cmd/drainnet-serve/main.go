@@ -39,6 +39,7 @@
 //	drainnet-serve -precision int8 -quant-max-ap-drop 0.01   # accuracy-gated int8
 //	drainnet-serve -autotune -kernel-cache kern.json         # tuned conv kernels
 //	drainnet-serve -dynamic -precision auto                  # dynamic inference
+//	drainnet-serve -nas-plan nas-out/plan.json               # serve a searched winner
 //
 // -precision int8 quantizes the detector (per-channel int8 weights,
 // affine int8 activations) and refuses to start unless the held-out AP
@@ -81,6 +82,7 @@ import (
 	"drainnet/internal/experiments"
 	"drainnet/internal/ios"
 	"drainnet/internal/model"
+	"drainnet/internal/nas"
 	"drainnet/internal/nn"
 	"drainnet/internal/serve"
 	"drainnet/internal/telemetry"
@@ -108,6 +110,7 @@ func main() {
 	autotune := flag.Bool("autotune", false, "measure every conv kernel variant (im2col, winograd, nchwc, direct, int8 when gated on) per layer and batch bucket on this machine and serve the fastest accuracy-gated mix; shares -quant-max-ap-drop as the gate epsilon")
 	kernelCache := flag.String("kernel-cache", "", "kernel measurement cache file for -autotune (loaded if present, saved after tuning); may be the same file as -ios-cache — the keys are shared")
 	dynamicOn := flag.Bool("dynamic", false, "serve the accuracy-gated dynamic inference path (early-exit negatives, spatial masking, and — with a passed int8 gate — per-request precision routing); shares -quant-max-ap-drop as the gate epsilon")
+	nasPlan := flag.String("nas-plan", "", "serve a drainnet-nas winner: plan.json written by drainnet-nas -out; sets the architecture, loads the sibling checkpoint, and applies the plan's precision and kernel mode (explicit -ckpt/-precision/-autotune flags still win)")
 	sweepDir := flag.String("sweep-dir", "", "checkpoint directory for /v1/sweep jobs (empty = jobs die with the process); unfinished jobs in it resume at startup")
 	sweepConc := flag.Int("sweep-concurrency", 0, "max in-flight pool submissions per sweep job (0 = default 16)")
 	workerID := flag.Int("worker-id", -1, "cluster worker slot id; labels every metric with worker=<id> (-1 = standalone)")
@@ -120,6 +123,31 @@ func main() {
 
 	dc := experiments.TinyData()
 	cfg := model.SPPNet2().Scaled(dc.WidthScale).WithInput(4, dc.ClipSize)
+
+	// A NAS winner plan replaces the default architecture with the
+	// searched one and carries its own checkpoint, precision and kernel
+	// mode; flags the operator set explicitly still win.
+	if *nasPlan != "" {
+		plan, err := nas.LoadWinnerPlan(*nasPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		cfg = plan.Arch
+		if !explicit["ckpt"] {
+			*ckpt = plan.ResolveCheckpoint(*nasPlan)
+		}
+		if !explicit["precision"] {
+			precision = plan.Candidate.Precision
+		}
+		if !explicit["autotune"] {
+			*autotune = plan.Candidate.Kernels == nas.KernelModeTuned
+		}
+		fmt.Printf("level=info msg=nas_plan arch=%q precision=%s kernels=%s accuracy=%.4f threshold=%.2f measured_b1_ms=%.4f measured_b%d_ms=%.4f\n",
+			cfg.Name, precision, plan.Candidate.Kernels, plan.Accuracy, plan.Threshold,
+			plan.LatencyB1Ns/1e6, plan.MaxBatch, plan.LatencyBNNs/1e6)
+	}
 	net, err := cfg.Build(rand.New(rand.NewSource(dc.NetSeed)))
 	if err != nil {
 		log.Fatal(err)

@@ -13,6 +13,7 @@ import (
 
 	"drainnet/internal/gpu"
 	"drainnet/internal/model"
+	"drainnet/internal/nn"
 	"drainnet/internal/terrain"
 	"drainnet/internal/train"
 )
@@ -107,9 +108,17 @@ func BuildData(dc DataConfig) (trainDS, testDS *terrain.Dataset, err error) {
 // returns its test AP.
 func TrainAndScore(cfg model.Config, dc DataConfig, trainDS, testDS *terrain.Dataset) (float64, error) {
 	scaled := cfg.Scaled(dc.WidthScale).WithInput(terrain.NumBands, dc.ClipSize)
+	_, ap, err := TrainNet(scaled, dc, trainDS, testDS)
+	return ap, err
+}
+
+// TrainNet trains one already-scaled architecture under the shared
+// protocol and returns the trained network alongside its test AP — the
+// hardware-in-the-loop NAS needs the network itself to measure.
+func TrainNet(scaled model.Config, dc DataConfig, trainDS, testDS *terrain.Dataset) (*nn.Sequential, float64, error) {
 	net, err := scaled.Build(rand.New(rand.NewSource(dc.NetSeed)))
 	if err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	opt := train.PaperOptions()
 	opt.Epochs = dc.Epochs
@@ -118,9 +127,9 @@ func TrainAndScore(cfg model.Config, dc DataConfig, trainDS, testDS *terrain.Dat
 	opt.LRStepEpoch = dc.Epochs * 2 / 3
 	opt.LRStepGamma = 0.1
 	if _, err := train.Fit(net, trainDS, opt); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
-	return train.Evaluate(net, testDS, dc.IoUThreshold).AP, nil
+	return net, train.Evaluate(net, testDS, dc.IoUThreshold).AP, nil
 }
 
 // Device returns the simulated GPU every efficiency experiment uses.

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"drainnet/internal/model"
+	"drainnet/internal/nas"
+	"drainnet/internal/tensor"
+)
+
+// microData is a sub-second training config for trainer-behavior tests.
+func microData() DataConfig {
+	d := TinyData()
+	d.Epochs = 1
+	return d
+}
+
+// TestNASTrainerDoesNotMutateDataset: Fit shuffles its split in place,
+// so the trainer must hand each call a private view — otherwise parallel
+// workers race on sample order and accuracy becomes order-dependent.
+func TestNASTrainerDoesNotMutateDataset(t *testing.T) {
+	dc := microData()
+	trainDS, testDS, err := BuildData(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]*tensor.Tensor, len(trainDS.Samples))
+	for i, s := range trainDS.Samples {
+		before[i] = s.Image
+	}
+	scaled := model.SPPNet2().Scaled(dc.WidthScale).WithInput(4, dc.ClipSize)
+	if _, _, err := NASTrainer(dc, trainDS, testDS).Train(scaled); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range trainDS.Samples {
+		if s.Image != before[i] {
+			t.Fatalf("trainer reordered the caller's dataset at %d", i)
+		}
+	}
+}
+
+// TestNASProxyEvaluator: the analytic proxy follows the paper's trends
+// (receptive field and capacity help, oversize kernels hurt).
+func TestNASProxyEvaluator(t *testing.T) {
+	p := NASProxy()
+	small, err := p.Evaluate(model.OriginalSPPNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= 0.85 || small >= 1 {
+		t.Fatalf("proxy out of range: %v", small)
+	}
+}
+
+// TestNewNASEvaluatorProxyPipeline: the proxy-trainer evaluator runs the
+// full measured pipeline (build, schedule, compile, bench) in well under
+// a second per candidate.
+func TestNewNASEvaluatorProxyPipeline(t *testing.T) {
+	dc := TinyData()
+	ev, err := NewNASEvaluator(dc, NASEvaluatorOptions{Threshold: 0.5, MaxAPDrop: 0.02, MaxBatch: 4, Proxy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := nas.DefaultSpace()
+	c := nas.CandidateConfig{Arch: space.Base, Precision: model.PrecisionFP32, Kernels: nas.KernelModeBaseline}
+	c.Arch = model.SPPNet2()
+	r := ev.EvaluateCandidate(c)
+	if r.Err != "" {
+		t.Fatalf("evaluate: %s", r.Err)
+	}
+	if !r.Qualified || r.LatencyB1Ns <= 0 || r.LatencyBNNs <= 0 {
+		t.Fatalf("proxy pipeline did not measure: %+v", r)
+	}
+}

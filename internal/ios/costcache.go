@@ -1,0 +1,141 @@
+package ios
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// CostCache is a serializable memo of operator (and NAS candidate)
+// measurements. Keys embed GOMAXPROCS, so one file is valid across pool
+// configurations; a cache loaded on a machine with different timings
+// simply prices schedules from the recorded numbers (use a per-host
+// cache file for fidelity).
+//
+// The cache is safe for concurrent use by multiple goroutines (every
+// access goes through Get/Put/Len/Snapshot, guarded by an in-process
+// mutex) and by multiple processes sharing one file: Save takes an
+// exclusive file lock on a .lock sidecar, merges the on-disk entries
+// into the in-memory ones (the writer's own entry wins per key — it is
+// the newest measurement this process owns), and replaces the file with
+// an atomic tmp+rename. Two processes measuring disjoint operators and
+// saving concurrently therefore lose nothing.
+type CostCache struct {
+	// Version guards the key format; a mismatched file loads as empty.
+	Version int                `json:"version"`
+	Entries map[string]float64 `json:"entries"`
+
+	mu sync.RWMutex
+}
+
+// costCacheVersion bumps when the key format or measurement protocol
+// changes incompatibly.
+const costCacheVersion = 1
+
+// NewCostCache returns an empty cache.
+func NewCostCache() *CostCache {
+	return &CostCache{Version: costCacheVersion, Entries: make(map[string]float64)}
+}
+
+// Get returns the memoized measurement for key.
+func (c *CostCache) Get(key string) (float64, bool) {
+	c.mu.RLock()
+	v, ok := c.Entries[key]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// Put records one measurement. Concurrent writers of the same key
+// overwrite each other, which is benign: both values are fresh
+// measurements of the same operator.
+func (c *CostCache) Put(key string, v float64) {
+	c.mu.Lock()
+	c.Entries[key] = v
+	c.mu.Unlock()
+}
+
+// Len reports the number of memoized measurements.
+func (c *CostCache) Len() int {
+	c.mu.RLock()
+	n := len(c.Entries)
+	c.mu.RUnlock()
+	return n
+}
+
+// Snapshot returns a copy of the entries at one instant.
+func (c *CostCache) Snapshot() map[string]float64 {
+	c.mu.RLock()
+	out := make(map[string]float64, len(c.Entries))
+	for k, v := range c.Entries {
+		out[k] = v
+	}
+	c.mu.RUnlock()
+	return out
+}
+
+// costCacheFile is the serialized form — the cache without its lock.
+type costCacheFile struct {
+	Version int                `json:"version"`
+	Entries map[string]float64 `json:"entries"`
+}
+
+// Save writes the cache as JSON, merging with whatever another process
+// saved to the same path since this cache was loaded: disk-only keys are
+// preserved, conflicting keys keep this writer's value. The write is a
+// tmp file + rename (readers never observe a partial file) under an
+// exclusive lock on path+".lock" (concurrent savers serialize, so
+// neither's new entries are lost).
+func (c *CostCache) Save(path string) error {
+	unlock, err := lockFile(path + ".lock")
+	if err != nil {
+		return fmt.Errorf("ios: cost cache lock: %w", err)
+	}
+	defer unlock()
+
+	merged := c.Snapshot()
+	if disk, err := LoadCostCache(path); err == nil {
+		for k, v := range disk.Entries {
+			if _, ours := merged[k]; !ours {
+				merged[k] = v
+			}
+		}
+	}
+	c.mu.RLock()
+	version := c.Version
+	c.mu.RUnlock()
+	data, err := json.MarshalIndent(costCacheFile{Version: version, Entries: merged}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadCostCache reads a cache written by Save. A missing file or a
+// version mismatch yields an empty cache and no error, so callers can
+// unconditionally load-measure-save.
+func LoadCostCache(path string) (*CostCache, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return NewCostCache(), nil
+		}
+		return nil, err
+	}
+	var cf costCacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("ios: cost cache %s: %w", path, err)
+	}
+	if cf.Version != costCacheVersion || cf.Entries == nil {
+		return NewCostCache(), nil
+	}
+	return &CostCache{Version: cf.Version, Entries: cf.Entries}, nil
+}

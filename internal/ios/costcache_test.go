@@ -1,0 +1,107 @@
+package ios
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCostCacheConcurrentAccess hammers one cache from many goroutines —
+// the shape of the parallel NAS executor, whose workers share one cache —
+// and must pass under -race.
+func TestCostCacheConcurrentAccess(t *testing.T) {
+	c := NewCostCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d|op%d", w, i%17)
+				c.Put(key, float64(i))
+				if _, ok := c.Get(key); !ok {
+					t.Errorf("key %s vanished", key)
+					return
+				}
+				c.Len()
+				if i%50 == 0 {
+					c.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 8*17 {
+		t.Fatalf("got %d entries, want %d", c.Len(), 8*17)
+	}
+}
+
+// TestCostCacheTwoWriterMerge is the two-process scenario: two caches
+// with disjoint (and one conflicting) measurements save to the same
+// file concurrently. Merge-on-save under the file lock must preserve
+// every key, and each writer's own value must win its conflicts.
+func TestCostCacheTwoWriterMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "costs.json")
+
+	a, b := NewCostCache(), NewCostCache()
+	for i := 0; i < 50; i++ {
+		a.Put(fmt.Sprintf("a|op%d", i), float64(i))
+		b.Put(fmt.Sprintf("b|op%d", i), float64(1000+i))
+	}
+	a.Put("shared", 1)
+	b.Put("shared", 2)
+
+	var wg sync.WaitGroup
+	for _, c := range []*CostCache{a, b} {
+		wg.Add(1)
+		go func(c *CostCache) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if err := c.Save(path); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	got, err := LoadCostCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 101 {
+		t.Fatalf("merged cache has %d entries, want 101 (a's 50 + b's 50 + shared)", got.Len())
+	}
+	for i := 0; i < 50; i++ {
+		if v, ok := got.Get(fmt.Sprintf("a|op%d", i)); !ok || v != float64(i) {
+			t.Fatalf("a|op%d = %v,%t after merge", i, v, ok)
+		}
+		if v, ok := got.Get(fmt.Sprintf("b|op%d", i)); !ok || v != float64(1000+i) {
+			t.Fatalf("b|op%d = %v,%t after merge", i, v, ok)
+		}
+	}
+	// The conflicting key holds whichever writer saved last — both are
+	// legitimate fresh measurements; it must just be one of them.
+	if v, _ := got.Get("shared"); v != 1 && v != 2 {
+		t.Fatalf("shared = %v, want 1 or 2", v)
+	}
+
+	// A later save from a third cache must keep everything already there.
+	c3 := NewCostCache()
+	c3.Put("c|only", 7)
+	if err := c3.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCostCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 102 {
+		t.Fatalf("after third writer: %d entries, want 102", got.Len())
+	}
+	if v, ok := got.Get("a|op0"); !ok || v != 0 {
+		t.Fatalf("third writer dropped a|op0: %v,%t", v, ok)
+	}
+}

@@ -1,9 +1,7 @@
 package ios
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -123,7 +121,7 @@ func (o *MeasuredOracle) opCost(n *graph.Node, batch int, inline bool) float64 {
 			key += "|prec=" + tag
 		}
 	}
-	if c, ok := o.cache.Entries[key]; ok {
+	if c, ok := o.cache.Get(key); ok {
 		return c
 	}
 	if err := o.Runner.BindOp(n, batch); err != nil {
@@ -134,7 +132,7 @@ func (o *MeasuredOracle) opCost(n *graph.Node, batch int, inline bool) float64 {
 		return 1e12
 	}
 	c := o.measure(inline)
-	o.cache.Entries[key] = c
+	o.cache.Put(key, c)
 	return c
 }
 
@@ -233,56 +231,4 @@ func costKey(n *graph.Node, batch int, inline bool) string {
 	return fmt.Sprintf("p%d|b%d|%s|%s|ins=%s|out=%v|f=%d|w=%d",
 		runtime.GOMAXPROCS(0), batch, regime, n.Kind, ins, n.OutShape,
 		n.FLOPsPerSample, n.WeightBytes)
-}
-
-// CostCache is a serializable memo of operator measurements. Keys embed
-// GOMAXPROCS, so one file is valid across pool configurations; a cache
-// loaded on a machine with different timings simply prices schedules
-// from the recorded numbers (use a per-host cache file for fidelity).
-type CostCache struct {
-	// Version guards the key format; a mismatched file loads as empty.
-	Version int                `json:"version"`
-	Entries map[string]float64 `json:"entries"`
-}
-
-// costCacheVersion bumps when the key format or measurement protocol
-// changes incompatibly.
-const costCacheVersion = 1
-
-// NewCostCache returns an empty cache.
-func NewCostCache() *CostCache {
-	return &CostCache{Version: costCacheVersion, Entries: make(map[string]float64)}
-}
-
-// Len reports the number of memoized measurements.
-func (c *CostCache) Len() int { return len(c.Entries) }
-
-// Save writes the cache as JSON.
-func (c *CostCache) Save(path string) error {
-	data, err := json.MarshalIndent(c, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// LoadCostCache reads a cache written by Save. A missing file or a
-// version mismatch yields an empty cache and no error, so callers can
-// unconditionally load-measure-save.
-func LoadCostCache(path string) (*CostCache, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return NewCostCache(), nil
-		}
-		return nil, err
-	}
-	var c CostCache
-	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, fmt.Errorf("ios: cost cache %s: %w", path, err)
-	}
-	if c.Version != costCacheVersion || c.Entries == nil {
-		return NewCostCache(), nil
-	}
-	return &c, nil
 }

@@ -38,6 +38,11 @@ func choiceIndex(choices []int, v int) int {
 
 // mutate perturbs exactly one searchable dimension of cfg by one step.
 func (s Space) mutate(rng *rand.Rand, cfg model.Config) model.Config {
+	return s.mutateArchDim(rng, cfg, rng.Intn(3))
+}
+
+// mutateArchDim perturbs one named architecture dimension by one step.
+func (s Space) mutateArchDim(rng *rand.Rand, cfg model.Config, dim int) model.Config {
 	k := cfg.Convs[0].Kernel
 	spp1 := cfg.SPPLevels[0]
 	fc := cfg.FCWidth
@@ -54,7 +59,7 @@ func (s Space) mutate(rng *rand.Rand, cfg model.Config) model.Config {
 		}
 		return choices[i]
 	}
-	switch rng.Intn(3) {
+	switch dim {
 	case 0:
 		k = step(s.Conv1Kernel.Choices, k)
 	case 1:
@@ -63,6 +68,45 @@ func (s Space) mutate(rng *rand.Rand, cfg model.Config) model.Config {
 		fc = step(s.FCWidth.Choices, fc)
 	}
 	return s.instantiate(k, spp1, fc)
+}
+
+// MutateCandidate perturbs exactly one dimension of the joint candidate:
+// one of the three architecture mutables, the precision, or the kernel
+// mode — the evolution strategy's mutation covers the full joint space,
+// so the accuracy-gate ladder and the search cooperate instead of the
+// precision/kernel choice being bolted on afterwards.
+func (s Space) MutateCandidate(rng *rand.Rand, c CandidateConfig) CandidateConfig {
+	dims := []int{0, 1, 2}
+	if len(s.precisions()) > 1 {
+		dims = append(dims, 3)
+	}
+	if len(s.kernels()) > 1 {
+		dims = append(dims, 4)
+	}
+	out := c
+	switch d := dims[rng.Intn(len(dims))]; d {
+	case 3:
+		out.Precision = pickOther(rng, s.precisions(), c.Precision)
+	case 4:
+		out.Kernels = pickOther(rng, s.kernels(), c.Kernels)
+	default:
+		out.Arch = s.mutateArchDim(rng, c.Arch, d)
+	}
+	return out
+}
+
+// pickOther draws uniformly among the choices different from cur.
+func pickOther[T comparable](rng *rand.Rand, choices []T, cur T) T {
+	others := make([]T, 0, len(choices))
+	for _, c := range choices {
+		if c != cur {
+			others = append(others, c)
+		}
+	}
+	if len(others) == 0 {
+		return cur
+	}
+	return others[rng.Intn(len(others))]
 }
 
 // EvolutionSearch runs regularized (aging) evolution: the oldest

@@ -24,7 +24,20 @@ type Mutable struct {
 	Choices []int
 }
 
-// Space is the paper's §4.2 search space over the SPP-Net family.
+// KernelMode is the per-candidate conv-kernel dimension of the joint
+// space: either the baseline im2col+GEMM kernels everywhere, or the
+// per-layer autotuned mix (model.AutotuneKernels picks Winograd / NCHWc /
+// direct / int8 per layer and batch bucket, under the accuracy gate).
+const (
+	KernelModeBaseline = "im2col"
+	KernelModeTuned    = "tuned"
+)
+
+// Space is the paper's §4.2 search space over the SPP-Net family,
+// optionally extended with the serving-efficiency dimensions the repo
+// owns: per-candidate numeric precision (accuracy-gated int8) and
+// per-layer kernel autotuning. When the extra dimensions are empty the
+// space degenerates to the paper's architecture-only search.
 type Space struct {
 	// Base is the template architecture; mutables override its fields.
 	Base model.Config
@@ -34,6 +47,28 @@ type Space struct {
 	SPPFirstLevel Mutable
 	// FCWidth is the hidden fully-connected feature size.
 	FCWidth Mutable
+	// Precisions are the searchable serving precisions (empty = fp32
+	// only). Int8 candidates run through the QuantizeGated accuracy gate
+	// during measured evaluation, so the search and the gate ladder
+	// cooperate instead of running as separate post-passes.
+	Precisions []model.Precision
+	// Kernels are the searchable kernel modes (KernelModeBaseline /
+	// KernelModeTuned; empty = baseline only).
+	Kernels []string
+}
+
+// CandidateConfig is one point of the joint search space: an
+// architecture plus the precision and kernel mode it would serve with.
+type CandidateConfig struct {
+	Arch      model.Config    `json:"arch"`
+	Precision model.Precision `json:"precision"`
+	Kernels   string          `json:"kernels"`
+}
+
+// Key uniquely identifies the candidate within a space (the dedup and
+// result-cache key of the search executor).
+func (c CandidateConfig) Key() string {
+	return fmt.Sprintf("%s|prec=%s|kern=%s", c.Arch.Name, c.Precision, c.Kernels)
 }
 
 // DefaultSpace returns the exact search space of §4.2:
@@ -48,9 +83,93 @@ func DefaultSpace() Space {
 	}
 }
 
+// DefaultJointSpace is DefaultSpace extended with the precision and
+// kernel dimensions: §4.2 architectures × {fp32, int8} × {im2col, tuned}.
+func DefaultJointSpace() Space {
+	s := DefaultSpace()
+	s.Precisions = []model.Precision{model.PrecisionFP32, model.PrecisionInt8}
+	s.Kernels = []string{KernelModeBaseline, KernelModeTuned}
+	return s
+}
+
 // Size returns the number of distinct architectures in the space.
 func (s Space) Size() int {
 	return len(s.Conv1Kernel.Choices) * len(s.SPPFirstLevel.Choices) * len(s.FCWidth.Choices)
+}
+
+// precisions returns the searchable precision choices (fp32 when unset).
+func (s Space) precisions() []model.Precision {
+	if len(s.Precisions) == 0 {
+		return []model.Precision{model.PrecisionFP32}
+	}
+	return s.Precisions
+}
+
+// kernels returns the searchable kernel-mode choices (baseline when unset).
+func (s Space) kernels() []string {
+	if len(s.Kernels) == 0 {
+		return []string{KernelModeBaseline}
+	}
+	return s.Kernels
+}
+
+// JointSize returns the number of distinct candidates in the joint space.
+func (s Space) JointSize() int {
+	return s.Size() * len(s.precisions()) * len(s.kernels())
+}
+
+// Contains reports whether the candidate lies inside the space — every
+// chosen value must be one of the listed choices.
+func (s Space) Contains(c CandidateConfig) bool {
+	in := func(choices []int, v int) bool {
+		for _, ch := range choices {
+			if ch == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !in(s.Conv1Kernel.Choices, c.Arch.Convs[0].Kernel) ||
+		!in(s.SPPFirstLevel.Choices, c.Arch.SPPLevels[0]) ||
+		!in(s.FCWidth.Choices, c.Arch.FCWidth) {
+		return false
+	}
+	okPrec := false
+	for _, p := range s.precisions() {
+		if p == c.Precision {
+			okPrec = true
+		}
+	}
+	okKern := false
+	for _, k := range s.kernels() {
+		if k == c.Kernels {
+			okKern = true
+		}
+	}
+	return okPrec && okKern
+}
+
+// SampleCandidate draws one joint candidate uniformly at random.
+func (s Space) SampleCandidate(rng *rand.Rand) CandidateConfig {
+	precs, kerns := s.precisions(), s.kernels()
+	return CandidateConfig{
+		Arch:      s.Sample(rng),
+		Precision: precs[rng.Intn(len(precs))],
+		Kernels:   kerns[rng.Intn(len(kerns))],
+	}
+}
+
+// AllCandidates enumerates the joint space (grid strategy).
+func (s Space) AllCandidates() []CandidateConfig {
+	var out []CandidateConfig
+	for _, cfg := range s.All() {
+		for _, p := range s.precisions() {
+			for _, k := range s.kernels() {
+				out = append(out, CandidateConfig{Arch: cfg, Precision: p, Kernels: k})
+			}
+		}
+	}
+	return out
 }
 
 // instantiate builds the config for one choice tuple.

@@ -1,0 +1,74 @@
+package nas
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"drainnet/internal/model"
+	"drainnet/internal/train"
+)
+
+// TestWinnerRoundTrip: SaveWinner writes a plan + checkpoint that load
+// back into an identical serving configuration and identical weights —
+// the drainnet-nas → drainnet-serve handoff.
+func TestWinnerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := tinySpace()
+	arch := s.instantiate(3, 2, 128).Scaled(16).WithInput(4, 40)
+	net, err := arch.Build(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trial := TrialResult{
+		Candidate: CandidateConfig{Arch: s.instantiate(3, 2, 128), Precision: model.PrecisionInt8, Kernels: KernelModeTuned},
+		Key:       "x", Accuracy: 0.93, Qualified: true,
+		LatencyB1Ns: 1e6, LatencyBNNs: 4e6,
+	}
+	if _, err := SaveWinner(dir, trial, arch, net, 0.9, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	planPath := filepath.Join(dir, "plan.json")
+	p, err := LoadWinnerPlan(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arch.Name != arch.Name || p.Arch.WidthScale != 16 || p.Arch.InSize != 40 {
+		t.Fatalf("plan arch mangled: %+v", p.Arch)
+	}
+	if p.Candidate.Precision != model.PrecisionInt8 || p.Candidate.Kernels != KernelModeTuned {
+		t.Fatalf("plan candidate mangled: %+v", p.Candidate)
+	}
+	if p.Threshold != 0.9 || p.MaxBatch != 16 || p.Accuracy != 0.93 {
+		t.Fatalf("plan metadata mangled: %+v", p)
+	}
+
+	// The checkpoint must load into a net built from the plan's arch.
+	net2, err := p.Arch.Build(rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := train.LoadFile(p.ResolveCheckpoint(planPath), net2); err != nil {
+		t.Fatalf("checkpoint does not load into plan arch: %v", err)
+	}
+	w1, w2 := net.Params(), net2.Params()
+	if len(w1) != len(w2) {
+		t.Fatalf("parameter count mismatch: %d vs %d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		a, b := w1[i].Value.Data(), w2[i].Value.Data()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("weights differ at param %d index %d", i, j)
+			}
+		}
+	}
+}
+
+// TestLoadWinnerPlanRejectsBadVersion guards the format.
+func TestLoadWinnerPlanRejectsBadVersion(t *testing.T) {
+	if _, err := LoadWinnerPlan(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing plan loaded without error")
+	}
+}
